@@ -1,0 +1,31 @@
+"""Fig. 11 — PagPassGPT's distances as the generation number grows.
+
+Artefact: length/pattern distance per budget; the paper observes both
+increase with the number of generated passwords.  The benchmark times the
+distance sweep.
+"""
+
+from repro.evaluation import distance_growth, render_series
+
+
+def test_fig11_distance_growth(benchmark, lab, save_result):
+    result = distance_growth(lab)
+
+    small_budgets = [b for b in result["budgets"]][:2]
+    benchmark.pedantic(
+        lambda: distance_growth(lab, budgets=small_budgets), rounds=1, iterations=1
+    )
+
+    budgets = result["budgets"]
+    text = "\n".join(
+        [
+            "Fig. 11 — PagPassGPT distances vs number of generated passwords",
+            render_series("length_distance", list(zip(budgets, result["length_distance"]))),
+            render_series("pattern_distance", list(zip(budgets, result["pattern_distance"]))),
+        ]
+    )
+    save_result("fig11_distance_growth", text)
+
+    # Shape: distances grow (weakly) with the generation budget.
+    assert result["length_distance"][-1] >= result["length_distance"][0] - 0.02
+    assert result["pattern_distance"][-1] >= result["pattern_distance"][0] - 0.02

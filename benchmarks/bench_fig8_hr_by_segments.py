@@ -1,0 +1,48 @@
+"""Fig. 8 — HR_s of PassGPT vs PagPassGPT by segment-count category.
+
+Artefact: one hit-rate series per model over categories s = 1..12 (the
+categories that exist in the scaled test corpus).  The benchmark times a
+single guided-generation batch.
+"""
+
+from repro.evaluation import render_series, render_table
+from repro.tokenizer import Pattern
+
+
+def test_fig8_hit_rate_by_segments(benchmark, lab, guided_result, save_result):
+    model = lab.pagpassgpt("rockyou")
+    pattern = Pattern.parse(next(iter(guided_result.targets.values()))[0])
+    benchmark.pedantic(
+        lambda: model.generate_with_pattern(pattern, 500, seed=1), rounds=3, iterations=1
+    )
+
+    categories = sorted(guided_result.category_hr)
+    lines = [
+        render_series(
+            name,
+            [(s, guided_result.category_hr[s][name]) for s in categories],
+        )
+        for name in ("PassGPT", "PagPassGPT")
+    ]
+    table = render_table(
+        ["Segments", "PassGPT HR_s", "PagPassGPT HR_s", "Targets"],
+        [
+            [
+                s,
+                f"{guided_result.category_hr[s]['PassGPT']:.2%}",
+                f"{guided_result.category_hr[s]['PagPassGPT']:.2%}",
+                ",".join(guided_result.targets[s][:5]),
+            ]
+            for s in categories
+        ],
+        title="Fig. 8 — hit rate by segment-count category",
+    )
+    save_result("fig8_hr_by_segments", table + "\n" + "\n".join(lines))
+
+    # Shape: PagPassGPT wins in every multi-segment category.
+    for s in categories:
+        if s >= 2:
+            assert (
+                guided_result.category_hr[s]["PagPassGPT"]
+                >= guided_result.category_hr[s]["PassGPT"]
+            ), f"PagPassGPT should beat PassGPT at {s} segments"

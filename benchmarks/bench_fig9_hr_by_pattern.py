@@ -1,0 +1,48 @@
+"""Fig. 9 — HR_P for the top patterns of each category (s = 1..6).
+
+Artefact: per-pattern hit rates for both models, top-5 patterns per
+category, mirroring the paper's per-pattern bar charts.  The benchmark
+times the per-pattern hit-rate computation.
+"""
+
+from repro.evaluation import pattern_hit_rate, render_table
+from repro.tokenizer import Pattern
+
+
+def test_fig9_hit_rate_by_pattern(benchmark, lab, guided_result, save_result):
+    data = lab.site_data("rockyou")
+    some_pattern = Pattern.parse(next(iter(guided_result.targets.values()))[0])
+    sample_guesses = lab.pagpassgpt("rockyou").generate_with_pattern(some_pattern, 500, seed=2)
+    benchmark.pedantic(
+        lambda: pattern_hit_rate(sample_guesses, data.test_corpus, some_pattern),
+        rounds=5,
+        iterations=1,
+    )
+
+    rows = []
+    wins = total = 0
+    for n_seg in sorted(guided_result.pattern_hr):
+        if n_seg > 6:
+            continue
+        for pattern_str, by_model in guided_result.pattern_hr[n_seg].items():
+            rows.append(
+                [
+                    n_seg,
+                    pattern_str,
+                    f"{by_model['PassGPT']:.2%}",
+                    f"{by_model['PagPassGPT']:.2%}",
+                ]
+            )
+            total += 1
+            if by_model["PagPassGPT"] >= by_model["PassGPT"]:
+                wins += 1
+    table = render_table(
+        ["Segments", "Pattern", "PassGPT HR_P", "PagPassGPT HR_P"],
+        rows,
+        title="Fig. 9 — per-pattern hit rates (top patterns per category)",
+    )
+    save_result("fig9_hr_by_pattern", table + f"\nPagPassGPT >= PassGPT on {wins}/{total} patterns")
+
+    # Shape: PagPassGPT wins on (almost) all patterns — the paper says
+    # "for almost all patterns"; require a clear majority.
+    assert wins / total >= 0.6

@@ -1,0 +1,46 @@
+"""Table III — guided samples and the word-truncation artifact.
+
+Artefact: ten sample passwords per (model, pattern) for L5N2 and L5S1N2
+plus the word-integrity score (fraction of letter segments that are whole
+lexicon words — PassGPT truncates, PagPassGPT does not).  The benchmark
+times guided sample generation.
+"""
+
+from repro.evaluation import render_table, table3_guided_samples
+from repro.tokenizer import Pattern
+
+
+def test_table3_guided_samples(benchmark, lab, save_result):
+    result = table3_guided_samples(lab, n_show=10, n_score=1_000)
+
+    model = lab.passgpt("rockyou")
+    benchmark.pedantic(
+        lambda: model.generate_with_pattern(Pattern.parse("L5S1N2"), 500, seed=3),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = []
+    for i in range(10):
+        rows.append(
+            [
+                result["samples"]["PassGPT"]["L5N2"][i],
+                result["samples"]["PassGPT"]["L5S1N2"][i],
+                result["samples"]["PagPassGPT"]["L5N2"][i],
+                result["samples"]["PagPassGPT"]["L5S1N2"][i],
+            ]
+        )
+    table = render_table(
+        ["PassGPT L5N2", "PassGPT L5S1N2", "PagPassGPT L5N2", "PagPassGPT L5S1N2"],
+        rows,
+        title="Table III — passwords generated in pattern guided guessing",
+    )
+    integrity = result["word_integrity"]
+    footer = (
+        f"word integrity: PassGPT={integrity['PassGPT']:.3f} "
+        f"PagPassGPT={integrity['PagPassGPT']:.3f}"
+    )
+    save_result("table3_samples", table + "\n" + footer)
+
+    # Shape: PagPassGPT's letter segments are more often intact words.
+    assert integrity["PagPassGPT"] >= integrity["PassGPT"]

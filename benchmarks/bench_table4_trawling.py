@@ -1,0 +1,39 @@
+"""Table IV — trawling-attack hit rates across guess budgets (6 models).
+
+Artefact: the paper's headline table — hit rate per model per budget,
+with PagPassGPT-D&C on top, then PagPassGPT, then PassGPT, then the older
+deep baselines.  The benchmark times generation of a 1,000-guess stream
+from PagPassGPT.
+
+This bench also covers ablation A2 (pattern conditioning on/off): the
+PassGPT row *is* PagPassGPT without pattern conditioning — identical
+backbone, trainer, sampler, and budget.
+"""
+
+from repro.evaluation import render_table
+
+
+def test_table4_trawling_hit_rates(benchmark, lab, trawling_result, save_result):
+    model = lab.pagpassgpt("rockyou")
+    benchmark.pedantic(lambda: model.generate(1_000, seed=11), rounds=3, iterations=1)
+
+    budgets = trawling_result.budgets
+    table = render_table(
+        ["Model"] + [f"{b:,}" for b in budgets],
+        [
+            [name] + [f"{h:.2%}" for h in trawling_result.hit_rates[name]]
+            for name in trawling_result.hit_rates
+        ],
+        title="Table IV — hit rates of different models in trawling attack test",
+    )
+    save_result("table4_trawling", table)
+
+    top = -1  # largest budget
+    hr = {name: rates[top] for name, rates in trawling_result.hit_rates.items()}
+    # Shape (paper ordering at the largest budget):
+    # GPT-family models dominate the older deep baselines...
+    for old in ("PassGAN", "VAEPass", "PassFlow"):
+        assert hr["PagPassGPT"] > hr[old]
+        assert hr["PassGPT"] > hr[old]
+    # ...and D&C-GEN does not hurt PagPassGPT's hit rate.
+    assert hr["PagPassGPT-D&C"] >= hr["PagPassGPT"] * 0.9

@@ -1,0 +1,55 @@
+"""Table V — length and pattern distances between generated sets and test set.
+
+Artefact: eq. 6 / eq. 7 distances for the five sampling models (PagPassGPT-
+D&C excluded, as in the paper).  The benchmark times the two distance
+computations on a 10k stream.
+"""
+
+from repro.evaluation import distance_test, length_distance, pattern_distance, render_table
+
+PAPER = {
+    "PassGAN": (0.0920, 0.0600),
+    "VAEPass": (0.0584, 0.0575),
+    "PassFlow": (0.5061, 0.1362),
+    "PassGPT": (0.0849, 0.0416),
+    "PagPassGPT": (0.0478, 0.0279),
+}
+
+
+def test_table5_distances(benchmark, lab, save_result):
+    result = distance_test(lab)
+
+    data = lab.site_data("rockyou")
+    stream = lab.pagpassgpt("rockyou").generate(10_000, seed=5)
+    benchmark.pedantic(
+        lambda: (
+            length_distance(stream, data.test_corpus),
+            pattern_distance(stream, data.test_corpus),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    table = render_table(
+        ["Model", "Length distance", "Pattern distance", "Paper (len, pat)"],
+        [
+            [
+                name,
+                f"{d['length_distance']:.4f}",
+                f"{d['pattern_distance']:.4f}",
+                f"{PAPER[name][0]:.4f}, {PAPER[name][1]:.4f}",
+            ]
+            for name, d in result.items()
+        ],
+        title="Table V — distribution distances vs the test set",
+    )
+    save_result("table5_distances", table)
+
+    # Shape: PagPassGPT's generated distribution is the closest to the
+    # test set on both metrics (the paper's claim).
+    for name, d in result.items():
+        if name != "PagPassGPT":
+            assert result["PagPassGPT"]["pattern_distance"] <= d["pattern_distance"] + 1e-9
+    assert result["PagPassGPT"]["length_distance"] == min(
+        d["length_distance"] for d in result.values()
+    )

@@ -1,0 +1,49 @@
+"""Table VI — cross-site attack test (train on RockYou/LinkedIn, attack
+phpBB/MySpace/Yahoo!).
+
+Artefact: hit rate per (train site, model, eval site).  The benchmark
+times the guess-set vs site-corpus intersection.
+"""
+
+from repro.evaluation import cross_site_test, render_table
+
+EVAL_SITES = ("phpbb", "myspace", "yahoo")
+
+
+def test_table6_cross_site(benchmark, lab, save_result):
+    results = cross_site_test(lab)
+
+    guesses = set(lab.pagpassgpt("rockyou").generate(5_000, seed=6))
+    target = lab.eval_corpus("phpbb").password_set
+    benchmark.pedantic(lambda: len(guesses & target) / len(target), rounds=10, iterations=1)
+
+    blocks = []
+    for train_site, by_model in results.items():
+        blocks.append(
+            render_table(
+                ["Model", "phpBB", "MySpace", "Yahoo!"],
+                [
+                    [model] + [f"{by_model[model][s]:.2%}" for s in EVAL_SITES]
+                    for model in by_model
+                ],
+                title=f"Table VI — trained on {train_site}",
+            )
+        )
+    save_result("table6_cross_site", "\n\n".join(blocks))
+
+    # Shape (§IV-E): the PagPassGPT family transfers across sites at
+    # least as well as PassGPT, and PagPassGPT-D&C leads on average for
+    # every training site.  (At paper scale free PagPassGPT also leads
+    # clearly; at this scale it ties PassGPT and the cross-site win is
+    # carried by D&C-GEN — recorded as a known deviation in
+    # EXPERIMENTS.md.)
+    for train_site, by_model in results.items():
+        for site in EVAL_SITES:
+            assert by_model["PagPassGPT"][site] >= by_model["PassGPT"][site] * 0.85, (
+                train_site, site)
+        mean_pag = sum(by_model["PagPassGPT"][s] for s in EVAL_SITES) / 3
+        mean_pas = sum(by_model["PassGPT"][s] for s in EVAL_SITES) / 3
+        mean_dc = sum(by_model["PagPassGPT-D&C"][s] for s in EVAL_SITES) / 3
+        assert mean_pag >= mean_pas * 0.9
+        assert mean_dc > mean_pas
+        assert mean_dc >= mean_pag

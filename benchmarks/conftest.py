@@ -1,0 +1,64 @@
+"""Shared benchmark fixtures.
+
+The benchmark suite reproduces every table and figure of the paper's
+evaluation section at a configurable scale:
+
+* ``REPRO_BENCH_SCALE`` — ``tiny`` (smoke, minutes), ``small`` (default,
+  ~1 h cold / minutes warm), or ``full`` (overnight).
+* GPT checkpoints are cached in ``.cache/lab``; a warm cache skips all
+  training.
+
+Each bench prints its rendered table/series and appends it to
+``benchmarks/results/<scale>/<artefact>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation import (
+    ModelLab,
+    pattern_guided_test,
+    trawling_test,
+)
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = _REPO_ROOT / "benchmarks" / "results" / SCALE
+
+
+@pytest.fixture(scope="session")
+def lab() -> ModelLab:
+    return ModelLab(
+        scale=SCALE,
+        cache_dir=_REPO_ROOT / ".cache" / "lab",
+        seed=0,
+        log_fn=lambda m: print(f"  {m}", flush=True),
+    )
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Print an artefact and persist it under benchmarks/results/."""
+
+    def _save(artefact: str, text: str) -> None:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{artefact}.txt").write_text(text + "\n")
+        print(f"\n{text}\n", flush=True)
+
+    return _save
+
+
+# Heavy experiment results shared between benches (fig8/fig9 share one
+# guided run; table4/fig10 share one trawling run).
+@pytest.fixture(scope="session")
+def guided_result(lab):
+    return pattern_guided_test(lab)
+
+
+@pytest.fixture(scope="session")
+def trawling_result(lab):
+    return trawling_test(lab)

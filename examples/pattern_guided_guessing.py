@@ -1,0 +1,46 @@
+"""Pattern guided guessing: PagPassGPT vs PassGPT (paper §IV-C, Table III).
+
+Trains both models on the same corpus, generates passwords under the
+paper's example patterns (L5N2, L5S1N2), and shows
+
+* side-by-side samples — PassGPT's word-truncation artifact ("polic#10")
+  vs PagPassGPT's intact words, and
+* the word-integrity score quantifying that artifact, and
+* per-pattern hit rates on the test split.
+
+Usage::
+
+    python examples/pattern_guided_guessing.py
+"""
+
+from repro.evaluation import ModelLab, pattern_hit_rate, word_integrity
+from repro.tokenizer import Pattern
+
+PATTERNS = ("L5N2", "L5S1N2", "L6N2")
+
+
+def main() -> None:
+    lab = ModelLab(scale="tiny", cache_dir=".cache/lab", log_fn=lambda m: print(f"  {m}"))
+    models = {"PassGPT": lab.passgpt("rockyou"), "PagPassGPT": lab.pagpassgpt("rockyou")}
+    test_corpus = lab.site_data("rockyou").test_corpus
+
+    for pattern_str in PATTERNS:
+        pattern = Pattern.parse(pattern_str)
+        print(f"\n=== pattern {pattern_str} "
+              f"({len(test_corpus.conforming(pattern))} conforming test passwords) ===")
+        for name, model in models.items():
+            guesses = model.generate_with_pattern(pattern, 2_000, seed=0)
+            hr = pattern_hit_rate(guesses, test_corpus, pattern)
+            integrity = word_integrity(guesses)
+            print(f"{name:11s} HR_P={hr:6.2%}  word-integrity={integrity:.2f}  "
+                  f"samples: {', '.join(guesses[:6])}")
+
+    print(
+        "\nThe word-integrity score is the fraction of letter segments that are "
+        "complete dictionary words rather than truncations; the paper's Table III "
+        "observation is PassGPT scoring lower than PagPassGPT."
+    )
+
+
+if __name__ == "__main__":
+    main()

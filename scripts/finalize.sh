@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Final artefact assembly: fill EXPERIMENTS.md from bench results and
+# capture the canonical test/bench outputs at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python benchmarks/collect_results.py --scale "${REPRO_BENCH_SCALE:-small}"
+python -m pytest tests/ 2>&1 | tee test_output.txt
+tail -5 test_output.txt

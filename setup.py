@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+``pip install -e .`` cannot use PEP 660 editable builds; this shim lets pip
+fall back to ``setup.py develop``. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

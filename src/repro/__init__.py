@@ -1,0 +1,59 @@
+"""PagPassGPT reproduction (Su et al., DSN 2024).
+
+A from-scratch Python implementation of pattern guided password guessing:
+a GPT-2 built on a numpy autograd engine, the D&C-GEN generation
+algorithm, the PassGPT / PassGAN / VAEPass / PassFlow / PCFG / Markov
+baselines, a synthetic leak pipeline, and the full evaluation suite.
+
+Quick start::
+
+    from repro import ModelLab, Pattern
+
+    lab = ModelLab(scale="tiny")
+    model = lab.pagpassgpt("rockyou")
+    model.generate_with_pattern(Pattern.parse("L6N2"), 10)
+"""
+
+from .datasets import PasswordCorpus, build_corpus, clean_leak, generate_leak, split_dataset
+from .evaluation import ModelLab, hit_rate, repeat_rate
+from .generation import DCGenConfig, DCGenerator
+from .models import (
+    MarkovModel,
+    PagPassGPT,
+    PagPassGPTDC,
+    PassFlow,
+    PassGAN,
+    PassGPT,
+    PCFGModel,
+    VAEPass,
+    create_model,
+)
+from .tokenizer import Pattern, PasswordTokenizer, extract_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PasswordCorpus",
+    "build_corpus",
+    "clean_leak",
+    "generate_leak",
+    "split_dataset",
+    "ModelLab",
+    "hit_rate",
+    "repeat_rate",
+    "DCGenConfig",
+    "DCGenerator",
+    "MarkovModel",
+    "PagPassGPT",
+    "PagPassGPTDC",
+    "PassFlow",
+    "PassGAN",
+    "PassGPT",
+    "PCFGModel",
+    "VAEPass",
+    "create_model",
+    "Pattern",
+    "PasswordTokenizer",
+    "extract_pattern",
+    "__version__",
+]

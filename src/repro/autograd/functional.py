@@ -1,0 +1,161 @@
+"""Fused, numerically stable ops built on :mod:`repro.autograd.tensor`.
+
+These implement the delicate pieces of the GPT-2 forward/backward pass as
+single graph nodes with hand-derived gradients, both for numerical
+stability (log-sum-exp tricks) and to keep graphs small during training.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, _op, _DEFAULT_DTYPE
+
+_SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with a fused backward pass."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray, a=x, s=out_data, ax=axis) -> list:
+        inner = (g * s).sum(axis=ax, keepdims=True)
+        return [(a, s * (g - inner))]
+
+    return _op(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (log-sum-exp stabilised)."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+
+    def backward(g: np.ndarray, a=x, ls=out_data, ax=axis) -> list:
+        softmax_vals = np.exp(ls)
+        return [(a, g - softmax_vals * g.sum(axis=ax, keepdims=True))]
+
+    return _op(out_data, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """GELU activation (tanh approximation, as in GPT-2).
+
+    Cubes are spelled as repeated multiplication: ``ndarray ** 3`` routes
+    through the generic pow loop, which is two orders of magnitude slower
+    on this hot path.
+    """
+    data = x.data
+    x2 = data * data
+    inner = _SQRT_2_OVER_PI * (data + 0.044715 * (x2 * data))
+    tanh_inner = np.tanh(inner)
+    out_data = 0.5 * data * (1.0 + tanh_inner)
+
+    def backward(g: np.ndarray, a=x, t=tanh_inner, x2=x2) -> list:
+        d_inner = _SQRT_2_OVER_PI * (1.0 + (3 * 0.044715) * x2)
+        grad = 0.5 * (1.0 + t) + 0.5 * a.data * (1.0 - t * t) * d_inner
+        return [(a, g * grad)]
+
+    return _op(out_data, (x,), backward)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last axis with affine transform.
+
+    Fused node: computes mean/variance once and reuses them in the
+    backward pass, which matters because GPT-2 calls this twice per block.
+    """
+    mu = x.data.mean(axis=-1, keepdims=True)
+    centered = x.data - mu
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = centered * inv_std
+    out_data = x_hat * weight.data + bias.data
+
+    def backward(g: np.ndarray, a=x, w=weight, b=bias, xh=x_hat, istd=inv_std) -> list:
+        pending = []
+        n = a.data.shape[-1]
+        g_xhat = g * w.data
+        if a.requires_grad or a._parents:
+            # Classic fused layer-norm gradient.
+            grad_x = (
+                g_xhat
+                - g_xhat.mean(axis=-1, keepdims=True)
+                - xh * (g_xhat * xh).mean(axis=-1, keepdims=True)
+            ) * istd
+            pending.append((a, grad_x))
+        if w.requires_grad:
+            axes = tuple(range(g.ndim - 1))
+            pending.append((w, (g * xh).sum(axis=axes)))
+        if b.requires_grad:
+            axes = tuple(range(g.ndim - 1))
+            pending.append((b, g.sum(axis=axes)))
+        return pending
+
+    return _op(out_data, (x, weight, bias), backward)
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    ignore_index: Optional[int] = None,
+) -> Tensor:
+    """Mean token-level cross-entropy between ``logits`` and ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Shape ``(..., vocab)``.
+    targets:
+        Integer array with shape ``logits.shape[:-1]``.
+    ignore_index:
+        Target value whose positions contribute neither loss nor gradient
+        (used to mask ``<PAD>`` tokens).
+    """
+    targets = np.asarray(targets)
+    flat_logits = logits.data.reshape(-1, logits.data.shape[-1])
+    flat_targets = targets.reshape(-1)
+
+    if ignore_index is not None:
+        valid = flat_targets != ignore_index
+    else:
+        valid = np.ones_like(flat_targets, dtype=bool)
+    n_valid = int(valid.sum())
+    if n_valid == 0:
+        raise ValueError("cross_entropy received no valid target positions")
+
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - logsumexp
+
+    safe_targets = np.where(valid, flat_targets, 0)
+    picked = log_probs[np.arange(len(flat_targets)), safe_targets]
+    loss = -(picked * valid).sum() / n_valid
+    out_data = np.asarray(loss, dtype=_DEFAULT_DTYPE)
+
+    def backward(g: np.ndarray, a=logits, lp=log_probs, tg=safe_targets, v=valid, n=n_valid) -> list:
+        probs = np.exp(lp)
+        probs[np.arange(len(tg)), tg] -= 1.0
+        probs *= (v / n)[:, None]
+        return [(a, (g * probs).reshape(a.data.shape))]
+
+    return _op(out_data, (logits,), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)``."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    keep = (rng.random(x.data.shape) >= p).astype(_DEFAULT_DTYPE) / (1.0 - p)
+    out_data = x.data * keep
+
+    def backward(g: np.ndarray, a=x, k=keep) -> list:
+        return [(a, g * k)]
+
+    return _op(out_data, (x,), backward)

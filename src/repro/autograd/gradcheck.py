@@ -1,0 +1,64 @@
+"""Finite-difference gradient checking for the autograd engine.
+
+Used by the test suite to validate every op and every fused functional
+against central-difference numerical gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int,
+    eps: float = 1e-3,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
+    target = inputs[wrt]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-2,
+    rtol: float = 1e-2,
+    eps: float = 1e-3,
+) -> None:
+    """Assert analytic gradients of ``fn`` match finite differences.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch; the
+    tolerance is loose because tensors are float32.
+    """
+    for t in inputs:
+        t.grad = None
+    out = fn(*inputs)
+    out.backward(np.ones_like(out.data))
+    for i, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        expected = numerical_gradient(fn, inputs, wrt=i, eps=eps)
+        actual = t.grad if t.grad is not None else np.zeros_like(t.data)
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = np.abs(actual - expected).max()
+            raise AssertionError(
+                f"gradient mismatch for input {i}: max abs error {worst:.3e}\n"
+                f"analytic:\n{actual}\nnumeric:\n{expected}"
+            )

@@ -1,0 +1,267 @@
+"""Command-line interface: the full pipeline without writing Python.
+
+Subcommands::
+
+    repro synth     synthesise a leak            -> passwords.txt
+    repro clean     clean + report (Table II)    -> cleaned.txt
+    repro split     7:1:2 train/val/test split   -> three files
+    repro patterns  PCFG pattern distribution report
+    repro train     train PagPassGPT / PassGPT   -> checkpoint.npz
+    repro generate  guesses from a checkpoint (guided / free / D&C-GEN)
+    repro evaluate  hit rate, repeat rate, distances of a guess file
+
+Example end-to-end session::
+
+    repro synth --site rockyou --entries 15000 --out leak.txt
+    repro clean --input leak.txt --out cleaned.txt
+    repro split --input cleaned.txt --prefix data
+    repro train --input data.train.txt --val data.val.txt --out model.npz
+    repro generate --checkpoint model.npz -n 50000 --dcgen --out guesses.txt
+    repro evaluate --guesses guesses.txt --test data.test.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .datasets import build_corpus, clean_leak, generate_leak, split_dataset
+from .datasets.synthetic import SITES
+from .evaluation import (
+    hit_rate,
+    length_distance,
+    pattern_distance,
+    render_table,
+    repeat_rate,
+)
+from .generation import DCGenConfig, DCGenerator, SamplerConfig
+from .models import PagPassGPT, PassGPT
+from .nn import GPT2Config
+from .tokenizer import Pattern
+from .training import TrainConfig
+
+
+def _read_lines(path: str) -> list[str]:
+    return Path(path).read_text(encoding="utf-8", errors="ignore").splitlines()
+
+
+def _write_lines(path: str, lines: Sequence[str]) -> None:
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations (each returns a process exit code)
+# ----------------------------------------------------------------------
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    leak = generate_leak(args.site, args.entries, seed=args.seed)
+    _write_lines(args.out, leak)
+    print(f"wrote {len(leak)} raw entries for site {args.site!r} to {args.out}")
+    return 0
+
+
+def cmd_clean(args: argparse.Namespace) -> int:
+    cleaned, report = clean_leak(_read_lines(args.input))
+    _write_lines(args.out, cleaned)
+    print(
+        render_table(
+            ["Raw", "Unique", "Cleaned", "Retention"],
+            [[report.raw_entries, report.unique, report.cleaned, f"{report.retention_rate:.1%}"]],
+            title="Cleaning report (Table II columns)",
+        )
+    )
+    print(f"wrote {len(cleaned)} cleaned unique passwords to {args.out}")
+    return 0
+
+
+def cmd_split(args: argparse.Namespace) -> int:
+    passwords = _read_lines(args.input)
+    splits = split_dataset(passwords, seed=args.seed)
+    for part in ("train", "val", "test"):
+        path = f"{args.prefix}.{part}.txt"
+        _write_lines(path, getattr(splits, part))
+        print(f"{path}: {len(getattr(splits, part))} passwords")
+    return 0
+
+
+def cmd_patterns(args: argparse.Namespace) -> int:
+    corpus = build_corpus(_read_lines(args.input))
+    rows = [
+        [pattern, f"{prob:.4%}", Pattern.parse(pattern).num_segments]
+        for pattern, prob in corpus.top_patterns(args.top)
+    ]
+    print(
+        render_table(
+            ["Pattern", "Probability", "Segments"],
+            rows,
+            title=f"Top {args.top} PCFG patterns of {len(corpus)} passwords",
+        )
+    )
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    train_passwords = _read_lines(args.input)
+    val_passwords = _read_lines(args.val) if args.val else None
+    model_cls = {"pagpassgpt": PagPassGPT, "passgpt": PassGPT}[args.model]
+    probe = model_cls()
+    config = GPT2Config(
+        vocab_size=len(probe.tokenizer.vocab),
+        block_size=probe.tokenizer.block_size,
+        dim=args.dim,
+        n_layers=args.layers,
+        n_heads=args.heads,
+        dropout=args.dropout,
+    )
+    model = model_cls(
+        model_config=config,
+        train_config=TrainConfig(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            lr=args.lr,
+            early_stop_patience=args.patience,
+            seed=args.seed,
+        ),
+        seed=args.seed,
+    )
+    print(f"training {model.name} ({model.model.num_parameters():,} parameters) "
+          f"on {len(train_passwords)} passwords")
+    model.fit(build_corpus(train_passwords), val_passwords=val_passwords, log_fn=print)
+    model.save(args.out)
+    print(f"checkpoint written to {args.out}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    model = _load_any(args.checkpoint)
+    if args.temperature != 1.0 or args.top_k or args.top_p < 1.0:
+        model.sampler = SamplerConfig(
+            temperature=args.temperature, top_k=args.top_k, top_p=args.top_p
+        )
+    if args.pattern:
+        if not hasattr(model, "generate_with_pattern"):
+            print("this model cannot do pattern guided generation", file=sys.stderr)
+            return 2
+        guesses = model.generate_with_pattern(Pattern.parse(args.pattern), args.n, seed=args.seed)
+    elif args.dcgen:
+        if not isinstance(model, PagPassGPT):
+            print("--dcgen requires a PagPassGPT checkpoint", file=sys.stderr)
+            return 2
+        generator = DCGenerator(model, DCGenConfig(threshold=args.threshold))
+        guesses = generator.generate(args.n, seed=args.seed)
+        stats = generator.stats
+        print(f"D&C-GEN: {stats.patterns_used} patterns, {stats.leaves} leaves, "
+              f"{stats.divisions} divisions", file=sys.stderr)
+    else:
+        guesses = model.generate(args.n, seed=args.seed)
+    _write_lines(args.out, guesses)
+    print(f"wrote {len(guesses)} guesses to {args.out}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    guesses = _read_lines(args.guesses)
+    test = _read_lines(args.test)
+    rows = [
+        ["hit rate", f"{hit_rate(guesses, test):.2%}"],
+        ["repeat rate", f"{repeat_rate(guesses):.2%}"],
+        ["unique guesses", len(set(guesses))],
+    ]
+    if args.distances:
+        corpus = build_corpus(sorted(set(test)))
+        rows.append(["length distance", f"{length_distance(guesses, corpus):.4f}"])
+        rows.append(["pattern distance", f"{pattern_distance(guesses, corpus):.4f}"])
+    print(render_table(["Metric", "Value"], rows, title="Evaluation"))
+    return 0
+
+
+def _load_any(path: str) -> PagPassGPT | PassGPT:
+    """Load whichever GPT model kind the checkpoint holds."""
+    try:
+        return PagPassGPT.load(path)
+    except ValueError:
+        return PassGPT.load(path)
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PagPassGPT reproduction — password guessing pipeline",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synth", help="synthesise a leak")
+    p.add_argument("--site", choices=sorted(SITES), default="rockyou")
+    p.add_argument("--entries", type=int, default=15_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_synth)
+
+    p = sub.add_parser("clean", help="clean a raw leak (length 4-12, ASCII, dedup)")
+    p.add_argument("--input", required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_clean)
+
+    p = sub.add_parser("split", help="7:1:2 train/val/test split")
+    p.add_argument("--input", required=True)
+    p.add_argument("--prefix", required=True, help="output prefix for .train/.val/.test files")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_split)
+
+    p = sub.add_parser("patterns", help="PCFG pattern distribution report")
+    p.add_argument("--input", required=True)
+    p.add_argument("--top", type=int, default=20)
+    p.set_defaults(fn=cmd_patterns)
+
+    p = sub.add_parser("train", help="train a GPT password model")
+    p.add_argument("--input", required=True, help="training passwords, one per line")
+    p.add_argument("--val", default=None, help="validation passwords")
+    p.add_argument("--model", choices=("pagpassgpt", "passgpt"), default="pagpassgpt")
+    p.add_argument("--out", required=True, help="checkpoint path (.npz)")
+    p.add_argument("--dim", type=int, default=64)
+    p.add_argument("--layers", type=int, default=3)
+    p.add_argument("--heads", type=int, default=4)
+    p.add_argument("--dropout", type=float, default=0.1)
+    p.add_argument("--epochs", type=int, default=20)
+    p.add_argument("--batch-size", type=int, default=128)
+    p.add_argument("--lr", type=float, default=2e-3)
+    p.add_argument("--patience", type=int, default=0, help="early-stop patience (0=off)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_train)
+
+    p = sub.add_parser("generate", help="generate guesses from a checkpoint")
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("-n", type=int, default=10_000, help="number of guesses")
+    p.add_argument("--pattern", default=None, help='guided generation, e.g. "L6N2"')
+    p.add_argument("--dcgen", action="store_true", help="use D&C-GEN (PagPassGPT only)")
+    p.add_argument("--threshold", type=int, default=256, help="D&C-GEN threshold T")
+    p.add_argument("--temperature", type=float, default=1.0)
+    p.add_argument("--top-k", type=int, default=0)
+    p.add_argument("--top-p", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("evaluate", help="score a guess file against a test file")
+    p.add_argument("--guesses", required=True)
+    p.add_argument("--test", required=True)
+    p.add_argument("--distances", action="store_true", help="also compute eqs. 6-7")
+    p.set_defaults(fn=cmd_evaluate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""Password-leak data pipeline: synthesis, cleaning, splits, corpora."""
+
+from .cleaning import CleaningReport, clean_leak, is_clean
+from .corpus import PasswordCorpus, build_corpus
+from .splits import Splits, split_dataset
+from .synthetic import DEFAULT_SIZES, SITES, LeakGenerator, SiteProfile, generate_leak
+
+__all__ = [
+    "CleaningReport",
+    "clean_leak",
+    "is_clean",
+    "PasswordCorpus",
+    "build_corpus",
+    "Splits",
+    "split_dataset",
+    "DEFAULT_SIZES",
+    "SITES",
+    "LeakGenerator",
+    "SiteProfile",
+    "generate_leak",
+]

@@ -1,0 +1,59 @@
+"""Data cleaning per §IV-A1 of the paper.
+
+Rules applied to a raw leak:
+
+* drop duplicates (the paper evaluates on unique passwords);
+* keep lengths in ``[4, 12]``;
+* keep only visible-ASCII characters (space excluded).
+
+``CleaningReport`` mirrors Table II's columns (unique, cleaned, retention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..tokenizer.charset import is_visible_ascii
+from ..tokenizer.patterns import MAX_PASSWORD_LENGTH, MIN_PASSWORD_LENGTH
+
+
+@dataclass(frozen=True)
+class CleaningReport:
+    """Summary of one cleaning pass (Table II row)."""
+
+    raw_entries: int
+    unique: int
+    cleaned: int
+
+    @property
+    def retention_rate(self) -> float:
+        """cleaned / unique, as reported in Table II."""
+        return self.cleaned / self.unique if self.unique else 0.0
+
+
+def is_clean(password: str) -> bool:
+    """True iff a single password passes the §IV-A1 criteria."""
+    return (
+        MIN_PASSWORD_LENGTH <= len(password) <= MAX_PASSWORD_LENGTH
+        and is_visible_ascii(password)
+    )
+
+
+def clean_leak(raw: Iterable[str]) -> tuple[list[str], CleaningReport]:
+    """Deduplicate and filter a raw leak.
+
+    Returns the cleaned unique passwords (first-seen order, which keeps
+    the result deterministic for a deterministic input) and the report.
+    """
+    seen: set[str] = set()
+    unique: list[str] = []
+    raw_count = 0
+    for pw in raw:
+        raw_count += 1
+        if pw not in seen:
+            seen.add(pw)
+            unique.append(pw)
+    cleaned = [pw for pw in unique if is_clean(pw)]
+    report = CleaningReport(raw_entries=raw_count, unique=len(unique), cleaned=len(cleaned))
+    return cleaned, report

@@ -1,0 +1,119 @@
+"""Password corpus container with the statistics the evaluation needs.
+
+Wraps a list of (unique, cleaned) passwords and lazily computes the
+distributions used throughout the paper: pattern probabilities (D&C-GEN
+input and eq. 7), length probabilities (eq. 6), and the per-segment
+pattern categories of Fig. 8/9.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from functools import cached_property
+from typing import Iterable, Sequence
+
+from ..tokenizer.patterns import MAX_SEGMENT_LENGTH, Pattern, extract_pattern
+
+
+class PasswordCorpus:
+    """A deduplicated password set plus derived distributions.
+
+    ``max_segment_length`` supports the longer-password configurations of
+    the paper's §V (see :mod:`repro.tokenizer.extended`); the default is
+    the paper's 12.
+    """
+
+    def __init__(
+        self,
+        passwords: Sequence[str],
+        name: str = "corpus",
+        max_segment_length: int = MAX_SEGMENT_LENGTH,
+    ) -> None:
+        if len(set(passwords)) != len(passwords):
+            raise ValueError("PasswordCorpus expects deduplicated passwords")
+        self.passwords = list(passwords)
+        self.name = name
+        self.max_segment_length = max_segment_length
+
+    def _pattern(self, password: str) -> Pattern:
+        if self.max_segment_length == MAX_SEGMENT_LENGTH:
+            return extract_pattern(password)  # cached hot path
+        return Pattern.from_password(password, self.max_segment_length)
+
+    def __len__(self) -> int:
+        return len(self.passwords)
+
+    def __iter__(self):
+        return iter(self.passwords)
+
+    def __contains__(self, password: str) -> bool:
+        return password in self.password_set
+
+    @cached_property
+    def password_set(self) -> frozenset[str]:
+        return frozenset(self.passwords)
+
+    # ------------------------------------------------------------------
+    # Distributions
+    # ------------------------------------------------------------------
+    @cached_property
+    def pattern_counts(self) -> Counter[str]:
+        """Pattern string -> number of corpus passwords with that pattern."""
+        return Counter(self._pattern(pw).string for pw in self.passwords)
+
+    @cached_property
+    def pattern_probs(self) -> dict[str, float]:
+        """Pattern string -> empirical probability (the D&C-GEN S_p set)."""
+        total = len(self.passwords)
+        return {p: c / total for p, c in self.pattern_counts.items()}
+
+    @cached_property
+    def length_probs(self) -> dict[int, float]:
+        """Password length -> empirical probability (eq. 6 input)."""
+        counts = Counter(len(pw) for pw in self.passwords)
+        total = len(self.passwords)
+        return {length: c / total for length, c in counts.items()}
+
+    def top_patterns(self, n: int) -> list[tuple[str, float]]:
+        """The ``n`` most frequent patterns with their probabilities."""
+        return [
+            (p, c / len(self.passwords)) for p, c in self.pattern_counts.most_common(n)
+        ]
+
+    def patterns_by_segments(self) -> dict[int, list[tuple[str, float]]]:
+        """Fig. 8 grouping: segment count -> [(pattern, prob)] sorted by prob."""
+        groups: dict[int, list[tuple[str, float]]] = {}
+        for pattern_str, prob in self.pattern_probs.items():
+            n_seg = Pattern.parse(pattern_str, self.max_segment_length).num_segments
+            groups.setdefault(n_seg, []).append((pattern_str, prob))
+        for entries in groups.values():
+            entries.sort(key=lambda item: (-item[1], item[0]))
+        return groups
+
+    def conforming(self, pattern: Pattern) -> list[str]:
+        """Test-set passwords conforming to ``pattern`` (eq. 5 denominator)."""
+        target = pattern.string
+        return [pw for pw in self.passwords if self._pattern(pw).string == target]
+
+    def conforming_by_category(self, n_segments: int) -> list[str]:
+        """Passwords whose pattern has ``n_segments`` segments (eq. 4)."""
+        return [
+            pw
+            for pw in self.passwords
+            if self._pattern(pw).num_segments == n_segments
+        ]
+
+
+def build_corpus(
+    passwords: Iterable[str],
+    name: str = "corpus",
+    max_segment_length: int = MAX_SEGMENT_LENGTH,
+) -> PasswordCorpus:
+    """Deduplicate (preserving order) and wrap as a corpus."""
+    seen: set[str] = set()
+    unique = []
+    for pw in passwords:
+        if pw not in seen:
+            seen.add(pw)
+            unique.append(pw)
+    return PasswordCorpus(unique, name=name, max_segment_length=max_segment_length)

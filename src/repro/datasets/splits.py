@@ -1,0 +1,48 @@
+"""Train/validation/test splitting (7:1:2 per §IV-A2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Splits:
+    """Disjoint train/validation/test password lists."""
+
+    train: list[str]
+    val: list[str]
+    test: list[str]
+
+    def __post_init__(self) -> None:
+        overlap = (set(self.train) & set(self.test)) | (set(self.val) & set(self.test))
+        if overlap:
+            raise ValueError(f"test split overlaps train/val: {sorted(overlap)[:5]}...")
+
+
+def split_dataset(
+    passwords: Sequence[str],
+    ratios: tuple[float, float, float] = (0.7, 0.1, 0.2),
+    seed: int = 0,
+) -> Splits:
+    """Shuffle and split unique passwords into train/val/test.
+
+    The paper splits RockYou and LinkedIn 7:1:2; passwords must already be
+    deduplicated (``clean_leak`` guarantees this), so the three splits are
+    disjoint sets of strings.
+    """
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"ratios must sum to 1, got {ratios}")
+    if len(set(passwords)) != len(passwords):
+        raise ValueError("split_dataset expects deduplicated passwords")
+    order = np.random.default_rng(seed).permutation(len(passwords))
+    n_train = int(len(passwords) * ratios[0])
+    n_val = int(len(passwords) * ratios[1])
+    shuffled = [passwords[i] for i in order]
+    return Splits(
+        train=shuffled[:n_train],
+        val=shuffled[n_train : n_train + n_val],
+        test=shuffled[n_train + n_val :],
+    )

@@ -1,0 +1,125 @@
+"""Embedded vocabularies for the synthetic password-leak generator.
+
+The real leaks (RockYou etc.) cannot ship with an offline reproduction, so
+the synthetic generator composes passwords from the lexical material that
+password studies [24]-[28] repeatedly find: common words, first names,
+keyboard walks, years, and habitual digit/special suffixes.
+"""
+
+from __future__ import annotations
+
+# ~360 words that dominate real leaked-password corpora (pets, sports,
+# romance, pop culture, everyday nouns) plus generic English filler.
+COMMON_WORDS: tuple[str, ...] = (
+    "password", "love", "monkey", "dragon", "princess", "sunshine", "shadow",
+    "football", "baseball", "soccer", "hockey", "master", "killer", "angel",
+    "babygirl", "lovely", "flower", "butterfly", "superman", "batman",
+    "pokemon", "naruto", "chocolate", "cookie", "banana", "orange", "apple",
+    "cherry", "peanut", "pepper", "ginger", "summer", "winter", "autumn",
+    "spring", "friend", "forever", "family", "mother", "father", "sister",
+    "brother", "buddy", "lucky", "happy", "smile", "star", "stars", "moon",
+    "heaven", "cowboy", "tiger", "eagle", "falcon", "panther", "wolf",
+    "rabbit", "turtle", "dolphin", "spider", "snake", "horse", "puppy",
+    "kitty", "kitten", "doggy", "bear", "lion", "zebra", "panda", "koala",
+    "music", "guitar", "piano", "dancer", "singer", "player", "gamer",
+    "hunter", "ranger", "wizard", "knight", "pirate", "ninja", "samurai",
+    "viking", "legend", "hero", "ghost", "demon", "devil", "zombie",
+    "vampire", "school", "college", "student", "teacher", "doctor", "nurse",
+    "police", "soldier", "sailor", "pilot", "driver", "racer", "rider",
+    "biker", "skater", "surfer", "diver", "boxer", "golfer", "coffee",
+    "pizza", "burger", "candy", "sugar", "honey", "sweetie", "cutie",
+    "beauty", "pretty", "sexy", "hottie", "baby", "babe", "darling", "dear",
+    "heart", "hearts", "kisses", "hugs", "romeo", "juliet", "prince",
+    "queen", "king", "jester", "joker", "magic", "mystic", "secret",
+    "hidden", "silent", "quiet", "storm", "thunder", "lightning", "rain",
+    "cloud", "ocean", "river", "mountain", "forest", "desert", "island",
+    "beach", "sunset", "sunrise", "midnight", "morning", "night", "today",
+    "crystal", "diamond", "silver", "golden", "copper", "steel", "iron",
+    "stone", "rocky", "sandy", "dusty", "misty", "smokey", "blaze", "flame",
+    "spark", "frost", "icicle", "glacier", "comet", "planet", "galaxy",
+    "cosmos", "rocket", "shuttle", "engine", "turbo", "nitro", "speed",
+    "racing", "drift", "cruise", "voyage", "journey", "travel", "wander",
+    "dreamer", "dreams", "wishes", "hope", "faith", "grace", "mercy",
+    "spirit", "soul", "karma", "zen", "peace", "freedom", "liberty",
+    "justice", "honor", "glory", "victory", "triumph", "champion", "winner",
+    "trouble", "danger", "chaos", "havoc", "mayhem", "riot", "rebel",
+    "outlaw", "bandit", "rogue", "scout", "sniper", "gunner", "tanker",
+    "diesel", "harley", "chevy", "mustang", "camaro", "ferrari", "porsche",
+    "toyota", "honda", "yamaha", "suzuki", "kawasaki", "nissan", "subaru",
+    "jordan", "kobe", "lebron", "messi", "ronaldo", "pele", "zidane",
+    "beckham", "lakers", "celtics", "yankees", "dodgers", "cowboys",
+    "steelers", "packers", "raiders", "bulls", "spurs", "heat", "wizards",
+    "arsenal", "chelsea", "liverpool", "united", "madrid", "barca",
+    "hello", "welcome", "letmein", "iloveyou", "whatever", "blink",
+    "slipknot", "nirvana", "metallica", "eminem", "rihanna", "beyonce",
+    "shakira", "britney", "madonna", "elvis", "beatles", "queenie",
+    "gandalf", "frodo", "hobbit", "potter", "hermione", "weasley", "dobby",
+    "vader", "yoda", "skywalker", "trooper", "jedi", "sith", "wookie",
+    "pikachu", "charizard", "bulbasaur", "squirtle", "eevee", "mewtwo",
+    "mario", "luigi", "zelda", "link", "kirby", "sonic", "tails", "knuckles",
+    "goku", "vegeta", "gohan", "trunks", "piccolo", "sasuke", "sakura",
+    "kakashi", "itachi", "luffy", "zoro", "ichigo", "inuyasha", "bleach",
+    "simpson", "homer", "bart", "stewie", "cartman", "kenny", "scooby",
+    "garfield", "snoopy", "mickey", "minnie", "donald", "goofy", "pluto",
+    "nemo", "dory", "shrek", "simba", "nala", "mufasa", "timon", "pumba",
+    "aladdin", "jasmine", "ariel", "belle", "cinderella", "aurora", "mulan",
+    "pocahontas", "tinkerbell", "peterpan", "wendy", "alice", "dorothy",
+)
+
+# ~170 first names frequent in leaked corpora.
+FIRST_NAMES: tuple[str, ...] = (
+    "james", "john", "robert", "michael", "william", "david", "richard",
+    "joseph", "thomas", "charles", "chris", "daniel", "matthew", "anthony",
+    "donald", "mark", "paul", "steven", "andrew", "kenneth", "joshua",
+    "kevin", "brian", "george", "edward", "ronald", "timothy", "jason",
+    "jeffrey", "ryan", "jacob", "gary", "nicholas", "eric", "jonathan",
+    "stephen", "larry", "justin", "scott", "brandon", "benjamin", "samuel",
+    "gregory", "frank", "alex", "raymond", "patrick", "jack", "dennis",
+    "jerry", "tyler", "aaron", "jose", "adam", "henry", "nathan", "douglas",
+    "zachary", "peter", "kyle", "walter", "ethan", "jeremy", "harold",
+    "keith", "christian", "roger", "noah", "gerald", "carl", "terry",
+    "sean", "austin", "arthur", "lawrence", "jesse", "dylan", "bryan",
+    "joe", "jordan", "billy", "bruce", "albert", "willie", "gabriel",
+    "mary", "patricia", "jennifer", "linda", "elizabeth", "barbara",
+    "susan", "jessica", "sarah", "karen", "nancy", "lisa", "betty",
+    "margaret", "sandra", "ashley", "kimberly", "emily", "donna", "michelle",
+    "dorothy", "carol", "amanda", "melissa", "deborah", "stephanie",
+    "rebecca", "sharon", "laura", "cynthia", "kathleen", "amy", "shirley",
+    "angela", "helen", "anna", "brenda", "pamela", "nicole", "emma",
+    "samantha", "katherine", "christine", "debra", "rachel", "catherine",
+    "carolyn", "janet", "ruth", "maria", "heather", "diane", "virginia",
+    "julie", "joyce", "victoria", "olivia", "kelly", "christina", "lauren",
+    "joan", "evelyn", "judith", "megan", "cheryl", "andrea", "hannah",
+    "martha", "jacqueline", "frances", "gloria", "ann", "teresa", "kathryn",
+    "sara", "janice", "jean", "alice", "madison", "doris", "abigail",
+    "julia", "judy", "grace", "denise", "amber", "marilyn", "beverly",
+    "danielle", "theresa", "sophia", "marie", "diana", "brittany", "natalie",
+    "isabella", "charlotte", "rose", "alexis", "kayla",
+)
+
+# Keyboard walks and lazy sequences users actually type.
+KEYBOARD_WALKS: tuple[str, ...] = (
+    "qwerty", "qwertyuiop", "asdf", "asdfgh", "asdfghjkl", "zxcvbnm",
+    "zxcvbn", "qazwsx", "qweasd", "poiuyt", "mnbvcxz", "qwer", "wasd",
+    "abcd", "abcdef", "abc", "aaaa", "zzzz", "qqqq",
+)
+
+# Digit habits: years, repeats, sequences, lucky numbers.
+DIGIT_SUFFIXES: tuple[str, ...] = (
+    "1", "2", "7", "12", "13", "21", "22", "23", "69", "77", "88", "99",
+    "123", "321", "007", "111", "420", "666", "777", "911", "000",
+    "1234", "4321", "12345", "54321", "123456", "2000", "2001", "2005",
+    "2008", "2010", "1987", "1988", "1989", "1990", "1991", "1992", "1993",
+    "1994", "1995", "1996", "1997", "1998", "1999", "11", "10", "01", "02",
+    "03", "04", "05", "06", "07", "08", "09", "14", "15", "16", "17", "18",
+    "19", "20", "24", "25", "26", "27", "28", "29", "30", "31", "33", "44",
+    "55", "66", "222", "333", "444", "555", "987", "789", "456", "654",
+)
+
+# Specials by observed preference order.
+SPECIAL_FAVOURITES: tuple[str, ...] = (
+    "!", "@", "#", "$", ".", "_", "-", "*", "&", "%", "?", "+", "=", "~",
+)
+
+# Standard leet substitutions users apply to words.
+LEET_MAP: dict[str, str] = {"a": "@", "e": "3", "i": "1", "o": "0", "s": "$", "t": "7"}

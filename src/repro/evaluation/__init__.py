@@ -1,0 +1,57 @@
+"""Evaluation: metrics, distances, experiment harness, and report rendering."""
+
+from .distances import TOP_PATTERNS_FOR_DISTANCE, length_distance, pattern_distance
+from .experiments import (
+    DEFAULT_DISTANCE_MODELS,
+    DEFAULT_TRAWLING_MODELS,
+    GuidedResult,
+    TrawlingResult,
+    cross_site_test,
+    distance_growth,
+    distance_test,
+    pattern_guided_test,
+    table2_dataset_characteristics,
+    table3_guided_samples,
+    trawling_test,
+)
+from .harness import SCALES, LabScale, ModelLab, SiteData
+from .metrics import (
+    category_hit_rate,
+    hit_rate,
+    hits,
+    pattern_hit_rate,
+    repeat_rate,
+    word_integrity,
+)
+from .report import percent, render_bar_chart, render_series, render_table
+
+__all__ = [
+    "TOP_PATTERNS_FOR_DISTANCE",
+    "length_distance",
+    "pattern_distance",
+    "DEFAULT_DISTANCE_MODELS",
+    "DEFAULT_TRAWLING_MODELS",
+    "GuidedResult",
+    "TrawlingResult",
+    "cross_site_test",
+    "distance_growth",
+    "distance_test",
+    "pattern_guided_test",
+    "table2_dataset_characteristics",
+    "table3_guided_samples",
+    "trawling_test",
+    "SCALES",
+    "LabScale",
+    "ModelLab",
+    "SiteData",
+    "category_hit_rate",
+    "hit_rate",
+    "hits",
+    "pattern_hit_rate",
+    "repeat_rate",
+    "word_integrity",
+    "percent",
+    "render_bar_chart",
+    "render_series",
+    "render_table",
+]

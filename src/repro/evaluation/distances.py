@@ -1,0 +1,64 @@
+"""Distribution distances of §IV-D3 (eqs. 6 and 7).
+
+Both are Euclidean distances between probability vectors: the length
+distance over lengths 4..12, and the pattern distance over the test set's
+top-``k`` patterns (the paper uses k=150, whose cumulative probability
+exceeds 90%).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from ..datasets.corpus import PasswordCorpus
+from ..tokenizer.patterns import (
+    MAX_PASSWORD_LENGTH,
+    MIN_PASSWORD_LENGTH,
+    extract_pattern,
+)
+
+TOP_PATTERNS_FOR_DISTANCE = 150
+
+
+def length_distance(generated: Sequence[str], test_corpus: PasswordCorpus) -> float:
+    """Eq. 6: Euclidean distance between length distributions (4..12).
+
+    The generated distribution is computed over the raw guess stream
+    (duplicates included, as produced by the model); out-of-range lengths
+    contribute probability mass to neither side, mirroring the paper's
+    fixed 4..12 summation.
+    """
+    if not generated:
+        raise ValueError("length_distance needs generated passwords")
+    counts = Counter(len(pw) for pw in generated)
+    total = len(generated)
+    diffs = []
+    for length in range(MIN_PASSWORD_LENGTH, MAX_PASSWORD_LENGTH + 1):
+        p_test = test_corpus.length_probs.get(length, 0.0)
+        p_model = counts.get(length, 0) / total
+        diffs.append(p_test - p_model)
+    return float(np.sqrt(np.sum(np.square(diffs))))
+
+
+def pattern_distance(
+    generated: Sequence[str],
+    test_corpus: PasswordCorpus,
+    top_k: int = TOP_PATTERNS_FOR_DISTANCE,
+) -> float:
+    """Eq. 7: Euclidean distance over the test set's top-``k`` patterns."""
+    if not generated:
+        raise ValueError("pattern_distance needs generated passwords")
+    top = test_corpus.top_patterns(top_k)
+    gen_counts: Counter[str] = Counter()
+    for pw in generated:
+        if pw:
+            try:
+                gen_counts[extract_pattern(pw).string] += 1
+            except ValueError:
+                continue  # characters outside the charset: no pattern
+    total = len(generated)
+    diffs = [p_test - gen_counts.get(pattern, 0) / total for pattern, p_test in top]
+    return float(np.sqrt(np.sum(np.square(diffs))))

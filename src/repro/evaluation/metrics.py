@@ -1,0 +1,115 @@
+"""Core evaluation metrics of the paper (§IV-C, §IV-D).
+
+* hit rate (eqs. 4-5): generated ∩ test / |test|, both sides deduplicated;
+* repeat rate: fraction of duplicate guesses in the raw generated stream;
+* per-category and per-pattern hit rates (Figs. 8-9);
+* word-integrity score — quantifies the Table III truncation artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..datasets.corpus import PasswordCorpus
+from ..datasets.wordlists import COMMON_WORDS, FIRST_NAMES, KEYBOARD_WALKS
+from ..tokenizer.patterns import Pattern
+
+
+def hit_rate(generated: Iterable[str], test_passwords: Iterable[str]) -> float:
+    """Fraction of (unique) test passwords matched by (unique) guesses.
+
+    Matches §IV-D1: both sets are deduplicated before evaluation.
+    """
+    test_set = set(test_passwords)
+    if not test_set:
+        raise ValueError("hit_rate needs a non-empty test set")
+    return len(set(generated) & test_set) / len(test_set)
+
+
+def repeat_rate(generated: Sequence[str]) -> float:
+    """Fraction of raw guesses that duplicate an earlier guess (§IV-D2)."""
+    if not generated:
+        raise ValueError("repeat_rate needs a non-empty guess list")
+    return 1.0 - len(set(generated)) / len(generated)
+
+
+def hits(generated: Iterable[str], test_passwords: Iterable[str]) -> int:
+    """Absolute number of unique test passwords matched."""
+    return len(set(generated) & set(test_passwords))
+
+
+def category_hit_rate(
+    generated: Iterable[str],
+    test_corpus: PasswordCorpus,
+    n_segments: int,
+) -> float:
+    """HR_s (eq. 4): hits within one segment-count category.
+
+    The denominator is every test password whose pattern has
+    ``n_segments`` segments; the numerator counts those matched by the
+    guesses.
+    """
+    conforming = test_corpus.conforming_by_category(n_segments)
+    if not conforming:
+        return 0.0
+    return len(set(generated) & set(conforming)) / len(conforming)
+
+
+def pattern_hit_rate(
+    generated: Iterable[str],
+    test_corpus: PasswordCorpus,
+    pattern: Pattern,
+) -> float:
+    """HR_P (eq. 5): hits among test passwords conforming to one pattern."""
+    conforming = test_corpus.conforming(pattern)
+    if not conforming:
+        return 0.0
+    return len(set(generated) & set(conforming)) / len(conforming)
+
+
+# ----------------------------------------------------------------------
+# Word integrity (Table III's qualitative observation, made quantitative)
+# ----------------------------------------------------------------------
+_LEXICON = {w.lower() for w in COMMON_WORDS} | {n.lower() for n in FIRST_NAMES} | set(
+    KEYBOARD_WALKS
+)
+_PREFIXES = {w[:k] for w in _LEXICON for k in range(3, len(w))}
+
+
+def word_integrity(passwords: Iterable[str], min_len: int = 4) -> float:
+    """Fraction of letter segments that are complete lexicon words.
+
+    A segment counts as *truncated* when it is a proper prefix of a
+    lexicon word without being a word itself (e.g. ``polic`` from
+    ``police``) — exactly the PassGPT failure mode Table III illustrates.
+    Segments that are neither words nor prefixes are ignored (they carry
+    no signal about truncation).
+
+    Returns ``intact / (intact + truncated)``; 1.0 when no segment at all
+    is lexicon-related.
+    """
+    intact = truncated = 0
+    for pw in passwords:
+        for seg in _letter_segments(pw, min_len):
+            low = seg.lower()
+            if low in _LEXICON:
+                intact += 1
+            elif low in _PREFIXES:
+                truncated += 1
+    total = intact + truncated
+    return intact / total if total else 1.0
+
+
+def _letter_segments(password: str, min_len: int) -> list[str]:
+    segments: list[str] = []
+    current: list[str] = []
+    for ch in password:
+        if ch.isalpha():
+            current.append(ch)
+        else:
+            if len(current) >= min_len:
+                segments.append("".join(current))
+            current = []
+    if len(current) >= min_len:
+        segments.append("".join(current))
+    return segments

@@ -1,0 +1,69 @@
+"""Plain-text table/series rendering for benches and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table (markdown-pipe compatible)."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, points: Sequence[tuple[object, object]]) -> str:
+    """Render an (x, y) series as one labelled line (figure data)."""
+    body = "  ".join(f"{x}:{_fmt(y)}" for x, y in points)
+    return f"{name}: {body}"
+
+
+def render_bar_chart(
+    series: dict[str, Sequence[tuple[object, float]]],
+    width: int = 40,
+    value_format: str = "{:.2%}",
+    title: str = "",
+) -> str:
+    """Render one or more (x, y) series as horizontal ASCII bars.
+
+    Used to give the figure benches a visual artefact without any
+    plotting dependency.  All series share one scale (the global max).
+    """
+    all_values = [y for points in series.values() for _, y in points]
+    if not all_values:
+        raise ValueError("render_bar_chart needs at least one point")
+    peak = max(max(all_values), 1e-12)
+    label_width = max(
+        len(f"{name} {x}") for name, points in series.items() for x, _ in points
+    )
+    lines = [title] if title else []
+    for name, points in series.items():
+        for x, y in points:
+            bar = "#" * max(0, round(y / peak * width))
+            label = f"{name} {x}".ljust(label_width)
+            lines.append(f"{label} |{bar} {value_format.format(y)}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}" if abs(value) < 10 else f"{value:.2f}"
+    return str(value)
+
+
+def percent(value: float) -> str:
+    """Format a ratio as a percentage string like the paper's tables."""
+    return f"{value * 100:.2f}%"

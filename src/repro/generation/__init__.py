@@ -1,0 +1,22 @@
+"""Generation machinery: samplers and the D&C-GEN algorithm."""
+
+from .dcgen import DCGenConfig, DCGenStats, DCGenerator, remaining_search_space
+from .sampler import (
+    SamplerConfig,
+    constrained_distribution,
+    logits_to_probs,
+    sample,
+    sample_constrained,
+)
+
+__all__ = [
+    "DCGenConfig",
+    "DCGenStats",
+    "DCGenerator",
+    "remaining_search_space",
+    "SamplerConfig",
+    "constrained_distribution",
+    "logits_to_probs",
+    "sample",
+    "sample_constrained",
+]

@@ -1,0 +1,270 @@
+"""D&C-GEN: divide-and-conquer password generation (§III-C, Algorithm 1).
+
+The total guessing budget ``N`` is split across patterns by their training
+probability (``N_Pi = N * Pr(P_i)``); any task whose budget exceeds the
+threshold ``T`` is recursively divided along the next-token distribution
+the model assigns to pattern-conforming candidates, producing
+non-overlapping subtasks with longer prefixes.  Duplicates can then only
+arise *inside* a leaf task, which is what drives the repeat rate down.
+
+Implemented optimisations from §III-C3:
+
+* a task's budget is capped at the search-space size of its pattern
+  (generalised: at every node, the remaining search space of the prefix);
+* tasks at the same depth are executed as one batched model call;
+* prefixes are carried as integer id arrays end to end (no re-encoding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..tokenizer.patterns import Pattern
+from .sampler import GEN_BATCH, constrained_distribution, sample_constrained
+
+if TYPE_CHECKING:  # imported lazily to avoid a models <-> generation cycle
+    from ..models.pagpassgpt import PagPassGPT
+
+
+@dataclass(frozen=True)
+class DCGenConfig:
+    """D&C-GEN parameters.
+
+    ``threshold`` is the paper's T: the largest leaf-task budget (the
+    paper uses 4,000, tied to GPU batch capacity; scale it with your
+    budget).  Tasks whose computed budget falls below ``min_count`` (the
+    paper uses 1) are deleted.
+    """
+
+    threshold: int = 256
+    min_count: float = 1.0
+    max_patterns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if self.min_count <= 0:
+            raise ValueError("min_count must be positive")
+
+
+@dataclass
+class DCGenStats:
+    """Counters describing one D&C-GEN run (used by the ablation bench)."""
+
+    patterns_used: int = 0
+    divisions: int = 0
+    leaves: int = 0
+    deleted_tasks: int = 0
+    model_calls: int = 0
+    generated: int = 0
+
+
+@dataclass
+class _Task:
+    """One subtask: a rule prefix plus its share of the guess budget."""
+
+    prefix: np.ndarray  # ids: <BOS> pattern <SEP> [chars...]
+    count: float
+
+
+def _largest_remainder(weights: np.ndarray, units: int) -> np.ndarray:
+    """Allocate ``units`` whole guesses proportionally to ``weights``.
+
+    Classic largest-remainder apportionment: floors first, then hands the
+    remaining units to the largest fractional parts.  Used when a task's
+    budget is too small to divide fractionally.
+    """
+    units = max(1, units)
+    if weights.sum() <= 0:
+        weights = np.ones_like(weights)
+    shares = weights / weights.sum() * units
+    floors = np.floor(shares).astype(np.int64)
+    remainder = units - int(floors.sum())
+    if remainder > 0:
+        order = np.argsort(-(shares - floors))
+        floors[order[:remainder]] += 1
+    return floors
+
+
+def remaining_search_space(pattern: Pattern, done_chars: int) -> float:
+    """Distinct completions of a pattern after ``done_chars`` characters.
+
+    Returned as float: for long patterns the exact integer overflows
+    nothing here, but the D&C budget arithmetic is float anyway.
+    """
+    classes = pattern.char_classes()
+    space = 1.0
+    for cls in classes[done_chars:]:
+        space *= {"L": 52, "N": 10, "S": 32}[cls]
+    return space
+
+
+class DCGenerator:
+    """Runs Algorithm 1 on a fitted :class:`PagPassGPT`."""
+
+    def __init__(self, model: "PagPassGPT", config: DCGenConfig = DCGenConfig()) -> None:
+        self.model = model
+        self.config = config
+        self.stats = DCGenStats()
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        total: int,
+        pattern_probs: Optional[dict[str, float]] = None,
+        seed: int = 0,
+    ) -> list[str]:
+        """Generate ~``total`` guesses; returns the raw (ordered) stream.
+
+        ``pattern_probs`` defaults to the S_p recorded while fitting the
+        model.  Patterns are processed in descending probability, so a
+        truncated prefix of the output is itself a sensible guess list.
+        """
+        model = self.model
+        if not model.is_fitted:
+            raise RuntimeError("PagPassGPT must be fitted before running D&C-GEN")
+        probs = pattern_probs if pattern_probs is not None else model.pattern_probs
+        if not probs:
+            raise ValueError("no pattern distribution available; fit the model first")
+        rng = np.random.default_rng(seed)
+        self.stats = DCGenStats()
+
+        ranked = sorted(probs.items(), key=lambda item: (-item[1], item[0]))
+        if self.config.max_patterns is not None:
+            ranked = ranked[: self.config.max_patterns]
+
+        # Patterns whose share would fall below min_count are deleted
+        # (Algorithm 1 / Fig. 7); their probability mass is redistributed
+        # over the kept patterns so the requested total is actually spent.
+        kept = [(p, prob) for p, prob in ranked if total * prob >= self.config.min_count]
+        self.stats.deleted_tasks += len(ranked) - len(kept)
+        kept_mass = sum(prob for _, prob in kept)
+        if not kept or kept_mass <= 0:
+            return []
+
+        out: list[str] = []
+        for pattern_str, prob in kept:
+            pattern = Pattern.parse(pattern_str)
+            budget = min(total * prob / kept_mass, remaining_search_space(pattern, 0))
+            self.stats.patterns_used += 1
+            out.extend(self._run_pattern(pattern, budget, rng))
+        self.stats.generated = len(out)
+        return out
+
+    # ------------------------------------------------------------------
+    def _run_pattern(
+        self, pattern: Pattern, budget: float, rng: np.random.Generator
+    ) -> list[str]:
+        """Divide one pattern's task tree and execute its leaves."""
+        tokenizer = self.model.tokenizer
+        prompt = np.asarray(tokenizer.encode_prompt(pattern), dtype=np.int64)
+        prompt_len = len(prompt)
+        threshold = self.config.threshold
+
+        # Level-synchronous division: every task at depth d has the same
+        # prefix length, so a whole level is one batched forward pass.
+        leaves_by_depth: dict[int, list[_Task]] = {}
+        if budget <= threshold:
+            leaves_by_depth[0] = [_Task(prompt, budget)]
+            frontier: list[_Task] = []
+        else:
+            frontier = [_Task(prompt, budget)]
+        depth = 0
+        while frontier:
+            next_frontier: list[_Task] = []
+            allowed = tokenizer.allowed_ids_at(pattern, depth)
+            child_space = remaining_search_space(pattern, depth + 1)
+            rows = np.stack([t.prefix for t in frontier])
+            probs = self._next_distributions(rows, allowed)
+            self.stats.divisions += len(frontier)
+            for task, dist in zip(frontier, probs):
+                counts = task.count * dist
+                keep = np.nonzero(counts >= self.config.min_count)[0]
+                self.stats.deleted_tasks += len(counts) - len(keep)
+                if len(keep) == 0:
+                    # Every child is below min_count (near-flat
+                    # distribution): allocate the parent's (small, < c)
+                    # budget as whole guesses to the most probable
+                    # children by largest remainder — budget is spent and
+                    # the subtasks stay non-overlapping and duplicate-free.
+                    units = _largest_remainder(counts, int(round(task.count)))
+                    keep = np.nonzero(units)[0]
+                    counts = units.astype(np.float64)
+                else:
+                    # Redistribute deleted children's mass over survivors
+                    # so the parent's budget is actually spent.
+                    counts = counts * (task.count / counts[keep].sum())
+                for j in keep:
+                    child_count = min(float(counts[j]), child_space)
+                    child = _Task(np.append(task.prefix, allowed[j]), child_count)
+                    if child_count <= threshold:
+                        leaves_by_depth.setdefault(depth + 1, []).append(child)
+                    else:
+                        next_frontier.append(child)
+            frontier = next_frontier
+            depth += 1
+
+        # Execute leaves, batching tasks that share a depth.
+        out: list[str] = []
+        for leaf_depth in sorted(leaves_by_depth):
+            tasks = leaves_by_depth[leaf_depth]
+            self.stats.leaves += len(tasks)
+            out.extend(
+                self._execute_leaves(pattern, tasks, leaf_depth, prompt_len, rng)
+            )
+        return out
+
+    def _next_distributions(self, rows: np.ndarray, allowed: np.ndarray) -> np.ndarray:
+        """Renormalised next-token probabilities over ``allowed`` per row."""
+        out = np.empty((len(rows), len(allowed)), dtype=np.float64)
+        for start in range(0, len(rows), GEN_BATCH):
+            chunk = rows[start : start + GEN_BATCH]
+            logits, _ = self.model.inference.start(chunk)
+            out[start : start + len(chunk)] = constrained_distribution(logits, allowed)
+            self.stats.model_calls += 1
+        return out
+
+    def _execute_leaves(
+        self,
+        pattern: Pattern,
+        tasks: list[_Task],
+        depth: int,
+        prompt_len: int,
+        rng: np.random.Generator,
+    ) -> list[str]:
+        """Sample each leaf's completions; leaves at one depth share batches."""
+        tokenizer = self.model.tokenizer
+        vocab = tokenizer.vocab
+        # Fully-specified prefixes need no sampling at all.
+        if depth == pattern.length:
+            return [tokenizer.decode_password(np.append(t.prefix, vocab.eos_id)) for t in tasks]
+
+        rows_list: list[np.ndarray] = []
+        for task in tasks:
+            # Ceil rather than round: fractional leaf budgets would
+            # otherwise systematically under-spend the requested total
+            # (mass already lost to deleted sub-min_count children).
+            count = int(np.ceil(task.count))
+            rows_list.extend([task.prefix] * count)
+
+        out: list[str] = []
+        for start in range(0, len(rows_list), GEN_BATCH):
+            chunk = np.stack(rows_list[start : start + GEN_BATCH])
+            logits, cache = self.model.inference.start(chunk)
+            self.stats.model_calls += 1
+            chars = [
+                [vocab.token_of(int(i)) for i in row[prompt_len:]] for row in chunk
+            ]
+            for position in range(depth, pattern.length):
+                allowed = tokenizer.allowed_ids_at(pattern, position)
+                chosen = sample_constrained(logits, allowed, rng, self.model.sampler)
+                for row, token_id in enumerate(chosen):
+                    chars[row].append(vocab.token_of(int(token_id)))
+                if position + 1 < pattern.length:
+                    logits = self.model.inference.step(chosen, cache)
+                    self.stats.model_calls += 1
+            out.extend("".join(c) for c in chars)
+        return out

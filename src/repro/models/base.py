@@ -1,0 +1,49 @@
+"""Common interfaces of the password-guessing model zoo.
+
+Every model implements :class:`PasswordGuesser` (fit on a corpus, generate
+``n`` raw guesses).  Models capable of pattern guided guessing — PassGPT
+and PagPassGPT — additionally implement :class:`PatternGuidedGuesser`.
+
+Generated guess lists are *raw*: they may contain duplicates.  Evaluation
+code deduplicates per the paper's metrics; the repeat rate (§IV-D2) is a
+property of the raw stream.
+"""
+
+from __future__ import annotations
+
+import abc
+from ..datasets.corpus import PasswordCorpus
+from ..tokenizer.patterns import Pattern
+
+
+class PasswordGuesser(abc.ABC):
+    """A trainable model that emits password guesses."""
+
+    #: Human-readable model name used in reports (e.g. "PassGPT").
+    name: str = "guesser"
+
+    #: True when the content of a guess stream depends on the requested
+    #: total ``n`` (D&C-GEN takes N as an input to its budget division),
+    #: in which case per-budget evaluation must re-run generation instead
+    #: of slicing prefixes of one long stream.
+    budget_sensitive: bool = False
+
+    @abc.abstractmethod
+    def fit(self, corpus: PasswordCorpus, **kwargs) -> "PasswordGuesser":
+        """Train on a corpus of unique cleaned passwords; returns self."""
+
+    @abc.abstractmethod
+    def generate(self, n: int, seed: int = 0) -> list[str]:
+        """Emit ``n`` raw guesses (duplicates allowed, order = emission)."""
+
+    def _require_fitted(self, fitted: bool) -> None:
+        if not fitted:
+            raise RuntimeError(f"{self.name} must be fitted before generating")
+
+
+class PatternGuidedGuesser(PasswordGuesser):
+    """A guesser that can generate passwords conforming to a given pattern."""
+
+    @abc.abstractmethod
+    def generate_with_pattern(self, pattern: Pattern, n: int, seed: int = 0) -> list[str]:
+        """Emit ``n`` raw guesses conforming to ``pattern``."""

@@ -1,0 +1,150 @@
+"""Character-level Markov (n-gram) password guesser with OMEN enumeration.
+
+Implements the probability-based family of §II-B2: an order-``k`` n-gram
+model with add-delta smoothing over the visible-ASCII charset plus an
+end-of-word symbol, supporting
+
+* stochastic generation (independent sampling — the family's high repeat
+  rate is part of the paper's motivation), and
+* OMEN-style *ordered* enumeration (Dürmuth et al. 2015): transition
+  log-probabilities are discretised into integer levels and passwords are
+  enumerated level-by-level, most probable level first.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterator
+
+import numpy as np
+
+from ..datasets.corpus import PasswordCorpus
+from ..tokenizer.charset import VISIBLE_ASCII
+from ..tokenizer.patterns import MAX_PASSWORD_LENGTH
+from .base import PasswordGuesser
+
+_END = "\x00"  # end-of-password symbol (outside the visible charset)
+_ALPHABET = VISIBLE_ASCII + _END
+
+
+class MarkovModel(PasswordGuesser):
+    """Order-``k`` character n-gram model."""
+
+    name = "Markov"
+
+    def __init__(self, order: int = 3, smoothing: float = 0.01) -> None:
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        self.order = order
+        self.smoothing = smoothing
+        self._fitted = False
+        self._probs: dict[str, np.ndarray] = {}
+        self._char_index = {c: i for i, c in enumerate(_ALPHABET)}
+
+    # ------------------------------------------------------------------
+    def fit(self, corpus: PasswordCorpus, **kwargs) -> "MarkovModel":
+        counts: dict[str, Counter[str]] = defaultdict(Counter)
+        pad = " " * self.order  # start padding (space is outside the charset)
+        for password in corpus:
+            padded = pad + password + _END
+            for i in range(self.order, len(padded)):
+                context = padded[i - self.order : i]
+                counts[context][padded[i]] += 1
+        self._probs = {}
+        v = len(_ALPHABET)
+        for context, counter in counts.items():
+            dist = np.full(v, self.smoothing, dtype=np.float64)
+            for ch, c in counter.items():
+                dist[self._char_index[ch]] += c
+            dist /= dist.sum()
+            self._probs[context] = dist
+        self._uniform = np.full(v, 1.0 / v)
+        self._fitted = True
+        return self
+
+    def _dist(self, context: str) -> np.ndarray:
+        return self._probs.get(context, self._uniform)
+
+    def log_prob(self, password: str) -> float:
+        """Log-probability of ``password`` (including the end symbol)."""
+        self._require_fitted(self._fitted)
+        padded = " " * self.order + password + _END
+        total = 0.0
+        for i in range(self.order, len(padded)):
+            dist = self._dist(padded[i - self.order : i])
+            total += float(np.log(dist[self._char_index[padded[i]]]))
+        return total
+
+    # ------------------------------------------------------------------
+    def generate(self, n: int, seed: int = 0) -> list[str]:
+        """Independent ancestral sampling (high repeat rate by design)."""
+        self._require_fitted(self._fitted)
+        rng = np.random.default_rng(seed)
+        out: list[str] = []
+        for _ in range(n):
+            context = " " * self.order
+            chars: list[str] = []
+            while len(chars) < MAX_PASSWORD_LENGTH:
+                dist = self._dist(context)
+                ch = _ALPHABET[int(rng.choice(len(_ALPHABET), p=dist))]
+                if ch == _END:
+                    break
+                chars.append(ch)
+                context = context[1:] + ch
+            out.append("".join(chars))
+        return out
+
+    # ------------------------------------------------------------------
+    # OMEN-style ordered enumeration
+    # ------------------------------------------------------------------
+    def iter_ordered(
+        self,
+        max_level: int = 30,
+        level_width: float = 0.7,
+        max_length: int = MAX_PASSWORD_LENGTH,
+    ) -> Iterator[str]:
+        """Enumerate passwords by ascending total discretised level.
+
+        Each transition's level is ``round(-log p / level_width)`` capped
+        at ``max_level``; a password's level is the sum over transitions.
+        Level 0 passwords come first, then level 1, etc. — OMEN's ordering.
+        """
+        self._require_fitted(self._fitted)
+
+        def transition_levels(context: str) -> list[tuple[int, str]]:
+            dist = self._dist(context)
+            out = []
+            for idx, p in enumerate(dist):
+                level = int(round(-np.log(p) / level_width))
+                if level <= max_level:
+                    out.append((level, _ALPHABET[idx]))
+            return out
+
+        start = " " * self.order
+        for target in range(max_level + 1):
+            # DFS over (context, remaining level budget).
+            stack: list[tuple[str, str, int]] = [(start, "", target)]
+            while stack:
+                context, prefix, budget = stack.pop()
+                if len(prefix) > max_length:
+                    continue
+                for level, ch in transition_levels(context):
+                    if level > budget:
+                        continue
+                    if ch == _END:
+                        if level == budget and prefix:
+                            yield prefix
+                        continue
+                    if len(prefix) < max_length:
+                        stack.append((context[1:] + ch, prefix + ch, budget - level))
+
+    def generate_ordered(self, n: int, **kwargs) -> list[str]:
+        """First ``n`` passwords of the OMEN enumeration."""
+        out: list[str] = []
+        for pw in self.iter_ordered(**kwargs):
+            out.append(pw)
+            if len(out) >= n:
+                break
+        return out

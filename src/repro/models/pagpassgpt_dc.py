@@ -1,0 +1,47 @@
+"""PagPassGPT-D&C: PagPassGPT equipped with D&C-GEN (§IV-D).
+
+A thin :class:`PasswordGuesser` adapter so the evaluation harness can
+treat "PagPassGPT-D&C" as one more model row in Tables IV and VI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..datasets.corpus import PasswordCorpus
+from ..generation.dcgen import DCGenConfig, DCGenerator
+from ..tokenizer.patterns import Pattern
+from .base import PatternGuidedGuesser
+from .pagpassgpt import PagPassGPT
+
+
+class PagPassGPTDC(PatternGuidedGuesser):
+    """PagPassGPT whose trawling generation runs through D&C-GEN."""
+
+    name = "PagPassGPT-D&C"
+    budget_sensitive = True
+
+    def __init__(self, base: PagPassGPT, dc_config: DCGenConfig = DCGenConfig()) -> None:
+        self.base = base
+        self.dc_config = dc_config
+        self._generator: Optional[DCGenerator] = None
+
+    @property
+    def generator(self) -> DCGenerator:
+        if self._generator is None:
+            self._generator = DCGenerator(self.base, self.dc_config)
+        return self._generator
+
+    def fit(self, corpus: PasswordCorpus, **kwargs) -> "PagPassGPTDC":
+        """Fit the underlying PagPassGPT (no-op if already fitted)."""
+        if not self.base.is_fitted:
+            self.base.fit(corpus, **kwargs)
+        return self
+
+    def generate(self, n: int, seed: int = 0) -> list[str]:
+        """Trawling generation via Algorithm 1."""
+        return self.generator.generate(n, seed=seed)
+
+    def generate_with_pattern(self, pattern: Pattern, n: int, seed: int = 0) -> list[str]:
+        """Pattern guided generation delegates to the base model."""
+        return self.base.generate_with_pattern(pattern, n, seed=seed)

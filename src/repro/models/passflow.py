@@ -1,0 +1,149 @@
+"""PassFlow baseline (Pagnotta et al., DSN 2022) — flow-based guesser.
+
+A NICE-style normalizing flow (Dinh et al. 2014, the paper's ref [68]):
+passwords are dequantised into continuous vectors, pushed through
+additive coupling layers plus a diagonal scaling layer, and trained by
+exact maximum likelihood under a logistic prior.  Generation samples the
+prior and inverts the flow; the final rounding back to characters carries
+the continuous-to-discrete accuracy loss the paper attributes to this
+family (§II-B3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, concat, no_grad
+from ..datasets.corpus import PasswordCorpus
+from ..nn import MLP, Adam
+from ..nn.module import Module, Parameter
+from ..training.dataloader import BatchLoader
+from .base import PasswordGuesser
+from .seq_encoding import SEQ_LEN, VOCAB_SIZE, decode_indices, encode_indices
+
+_HALF = SEQ_LEN // 2
+
+
+def _softplus(z: Tensor) -> Tensor:
+    """Numerically stable ``log(1 + exp(z))``."""
+    return z.relu() + ((-(z.abs())).exp() + 1.0).log()
+
+
+class _Coupling(Module):
+    """Additive coupling: one half shifts the other by an MLP of it."""
+
+    def __init__(self, rng: np.random.Generator, hidden: int, swap: bool) -> None:
+        super().__init__()
+        self.net = MLP([_HALF, hidden, hidden, _HALF], rng, activation=Tensor.tanh)
+        self.swap = swap
+
+    def forward(self, x: Tensor) -> Tensor:
+        a, b = x[:, :_HALF], x[:, _HALF:]
+        if self.swap:
+            a, b = b, a
+        b = b + self.net(a)
+        if self.swap:
+            a, b = b, a
+        return concat([a, b], axis=1)
+
+    def inverse(self, y: np.ndarray) -> np.ndarray:
+        a, b = y[:, :_HALF], y[:, _HALF:]
+        if self.swap:
+            a, b = b, a
+        with no_grad():
+            shift = self.net(Tensor(a.astype(np.float32))).data
+        b = b - shift
+        if self.swap:
+            a, b = b, a
+        return np.concatenate([a, b], axis=1)
+
+
+class PassFlow(PasswordGuesser):
+    """NICE flow over dequantised fixed-length password vectors."""
+
+    name = "PassFlow"
+
+    def __init__(
+        self,
+        n_couplings: int = 4,
+        hidden: int = 96,
+        epochs: int = 6,
+        batch_size: int = 128,
+        lr: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        self.couplings = [_Coupling(rng, hidden, swap=bool(i % 2)) for i in range(n_couplings)]
+        #: log of the diagonal scaling layer (NICE's final layer).
+        self.log_scale = Parameter(np.zeros(SEQ_LEN, dtype=np.float32))
+        self._fitted = False
+        self.losses: list[float] = []
+
+    def _parameters(self):
+        params = [self.log_scale]
+        for c in self.couplings:
+            params.extend(c.parameters())
+        return params
+
+    # ------------------------------------------------------------------
+    def _forward_z(self, x: Tensor) -> Tensor:
+        for coupling in self.couplings:
+            x = coupling(x)
+        return x * self.log_scale.exp()
+
+    def _nll(self, x: Tensor) -> Tensor:
+        """Mean negative log-likelihood under the logistic prior."""
+        z = self._forward_z(x)
+        log_prior = -(_softplus(z) + _softplus(-z)).sum()
+        log_det = self.log_scale.sum() * float(len(x))
+        return (log_prior + log_det) * (-1.0 / len(x))
+
+    def _dequantise(self, indices: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        noise = rng.random(indices.shape)
+        return ((indices + noise) / VOCAB_SIZE).astype(np.float32)
+
+    def fit(self, corpus: PasswordCorpus, log_fn=None, **kwargs) -> "PassFlow":
+        rng = np.random.default_rng(self.seed)
+        indices = encode_indices(corpus.passwords)
+        optimizer = Adam(self._parameters(), lr=self.lr)
+        loader = BatchLoader(indices, self.batch_size, seed=self.seed)
+        for epoch in range(self.epochs):
+            epoch_loss, seen = 0.0, 0
+            for batch in loader:
+                optimizer.zero_grad()
+                x = Tensor(self._dequantise(batch, rng))
+                loss = self._nll(x)
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item() * len(batch)
+                seen += len(batch)
+            self.losses.append(epoch_loss / seen)
+            if log_fn is not None:
+                log_fn(f"PassFlow epoch {epoch}: nll {self.losses[-1]:.4f}")
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def _invert(self, z: np.ndarray) -> np.ndarray:
+        x = z * np.exp(-self.log_scale.data)
+        for coupling in reversed(self.couplings):
+            x = coupling.inverse(x)
+        return x
+
+    def generate(self, n: int, seed: int = 0) -> list[str]:
+        """Sample the logistic prior, invert the flow, round to characters."""
+        self._require_fitted(self._fitted)
+        rng = np.random.default_rng(seed)
+        out: list[str] = []
+        for start in range(0, n, 1024):
+            batch = min(1024, n - start)
+            u = rng.random((batch, SEQ_LEN))
+            z = np.log(u / (1.0 - u))  # logistic via inverse CDF
+            x = self._invert(z.astype(np.float32))
+            indices = np.clip(np.floor(x * VOCAB_SIZE), 0, VOCAB_SIZE - 1).astype(np.int64)
+            out.extend(decode_indices(indices))
+        return out

@@ -1,0 +1,123 @@
+"""PassGAN baseline (Hitaj et al. 2019) — adversarial password generation.
+
+The original uses IWGAN with gradient penalty; gradient penalty needs
+second-order autodiff, so this reproduction uses the original WGAN
+formulation (Arjovsky et al.) with critic weight clipping — same model
+family, same sampling behaviour (independent draws from a latent prior),
+which is what the paper's comparison exercises (DESIGN.md §1).
+
+The generator emits per-position softmax "soft one-hot" rows; real samples
+are hard one-hot.  Generation decodes the argmax character per position,
+so diversity comes entirely from the latent draw — the family trait behind
+PassGAN's 66% repeat rate at 10^9 guesses (§I-A2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..autograd import functional as F
+from ..datasets.corpus import PasswordCorpus
+from ..nn import MLP, Adam
+from ..training.dataloader import BatchLoader
+from .base import PasswordGuesser
+from .seq_encoding import SEQ_LEN, VOCAB_SIZE, decode_indices, encode_onehot
+
+_FLAT = SEQ_LEN * VOCAB_SIZE
+
+
+class PassGAN(PasswordGuesser):
+    """Weight-clipped WGAN over fixed-length one-hot password tensors."""
+
+    name = "PassGAN"
+
+    def __init__(
+        self,
+        latent_dim: int = 64,
+        hidden: int = 256,
+        clip: float = 0.01,
+        n_critic: int = 3,
+        epochs: int = 5,
+        batch_size: int = 128,
+        lr: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.latent_dim = latent_dim
+        self.clip = clip
+        self.n_critic = n_critic
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        self.generator = MLP(
+            [latent_dim, hidden, hidden, _FLAT], rng, activation=Tensor.relu
+        )
+        self.critic = MLP(
+            [_FLAT, hidden, hidden, 1],
+            rng,
+            activation=lambda t: t.leaky_relu(0.2),
+        )
+        self._fitted = False
+        self.critic_losses: list[float] = []
+
+    # ------------------------------------------------------------------
+    def _generate_soft(self, z: np.ndarray) -> Tensor:
+        """Latent batch -> per-position softmax rows, flattened."""
+        logits = self.generator(Tensor(z.astype(np.float32)))
+        probs = F.softmax(logits.reshape(len(z), SEQ_LEN, VOCAB_SIZE), axis=-1)
+        return probs.reshape(len(z), _FLAT)
+
+    def fit(self, corpus: PasswordCorpus, log_fn=None, **kwargs) -> "PassGAN":
+        rng = np.random.default_rng(self.seed)
+        real = encode_onehot(corpus.passwords)
+        gen_opt = Adam(self.generator.parameters(), lr=self.lr, betas=(0.5, 0.9))
+        critic_opt = Adam(self.critic.parameters(), lr=self.lr, betas=(0.5, 0.9))
+        loader = BatchLoader(real, self.batch_size, seed=self.seed)
+        for epoch in range(self.epochs):
+            epoch_critic = 0.0
+            batches = 0
+            for step, batch in enumerate(loader):
+                batch_t = Tensor(batch)
+                # Critic steps: maximise D(real) - D(fake)  (minimise neg).
+                z = rng.normal(size=(len(batch), self.latent_dim))
+                with no_grad():
+                    fake_const = self._generate_soft(z).data
+                critic_opt.zero_grad()
+                loss_c = (
+                    self.critic(Tensor(fake_const)).mean()
+                    - self.critic(batch_t).mean()
+                )
+                loss_c.backward()
+                critic_opt.step()
+                for p in self.critic.parameters():
+                    np.clip(p.data, -self.clip, self.clip, out=p.data)
+                epoch_critic += loss_c.item()
+                batches += 1
+                # Generator step every n_critic critic steps.
+                if step % self.n_critic == 0:
+                    gen_opt.zero_grad()
+                    z = rng.normal(size=(len(batch), self.latent_dim))
+                    loss_g = -self.critic(self._generate_soft(z)).mean()
+                    loss_g.backward()
+                    gen_opt.step()
+            self.critic_losses.append(epoch_critic / max(1, batches))
+            if log_fn is not None:
+                log_fn(f"PassGAN epoch {epoch}: critic {self.critic_losses[-1]:.4f}")
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def generate(self, n: int, seed: int = 0) -> list[str]:
+        """Draw ``n`` latents and decode argmax characters per position."""
+        self._require_fitted(self._fitted)
+        rng = np.random.default_rng(seed)
+        out: list[str] = []
+        for start in range(0, n, 1024):
+            batch = min(1024, n - start)
+            z = rng.normal(size=(batch, self.latent_dim))
+            with no_grad():
+                probs = self._generate_soft(z).data.reshape(batch, SEQ_LEN, VOCAB_SIZE)
+            out.extend(decode_indices(probs.argmax(axis=-1)))
+        return out

@@ -1,0 +1,146 @@
+"""Weir-style PCFG password guesser (§II-C, Weir et al. 2009).
+
+Training counts pattern probabilities and per-segment string probabilities
+(eq. 2).  Generation enumerates complete passwords in *descending joint
+probability* order using the classic "next function" priority queue, which
+makes the PCFG baseline deterministic and duplicate-free — its weakness,
+per the paper, is that it can only ever emit segment strings seen in
+training.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import Counter, defaultdict
+from typing import Iterator
+
+from ..datasets.corpus import PasswordCorpus
+from ..tokenizer.patterns import Pattern, extract_pattern
+from .base import PatternGuidedGuesser
+
+
+class PCFGModel(PatternGuidedGuesser):
+    """Probabilistic context-free grammar over (pattern, segment) tables."""
+
+    name = "PCFG"
+
+    def __init__(self) -> None:
+        self._fitted = False
+        #: pattern string -> probability
+        self.pattern_probs: dict[str, float] = {}
+        #: segment token (e.g. "L4") -> [(segment string, probability)] desc.
+        self.segment_tables: dict[str, list[tuple[str, float]]] = {}
+
+    # ------------------------------------------------------------------
+    def fit(self, corpus: PasswordCorpus, **kwargs) -> "PCFGModel":
+        pattern_counts: Counter[str] = Counter()
+        segment_counts: dict[str, Counter[str]] = defaultdict(Counter)
+        for password in corpus:
+            pattern = extract_pattern(password)
+            pattern_counts[pattern.string] += 1
+            cursor = 0
+            for seg in pattern:
+                segment_counts[seg.token][password[cursor : cursor + seg.length]] += 1
+                cursor += seg.length
+        total = sum(pattern_counts.values())
+        self.pattern_probs = {p: c / total for p, c in pattern_counts.items()}
+        self.segment_tables = {}
+        for token, counts in segment_counts.items():
+            seg_total = sum(counts.values())
+            table = sorted(
+                ((s, c / seg_total) for s, c in counts.items()),
+                key=lambda item: (-item[1], item[0]),
+            )
+            self.segment_tables[token] = table
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Descending-probability enumeration (Weir's next function)
+    # ------------------------------------------------------------------
+    def iter_guesses(self) -> Iterator[tuple[str, float]]:
+        """Yield ``(password, probability)`` in descending probability.
+
+        A max-heap of partial states: each state is a pattern plus one
+        index per segment into that segment's descending table.  Popping a
+        state emits its password and pushes the at-most-``k`` successor
+        states that bump a single segment index.
+        """
+        self._require_fitted(self._fitted)
+        counter = itertools.count()  # tie-breaker for deterministic order
+        heap: list[tuple[float, int, str, tuple[int, ...]]] = []
+        seen: set[tuple[str, tuple[int, ...]]] = set()
+
+        def push(pattern_str: str, indices: tuple[int, ...]) -> None:
+            if (pattern_str, indices) in seen:
+                return
+            seen.add((pattern_str, indices))
+            prob = self.pattern_probs[pattern_str]
+            tables = self._tables_for(pattern_str)
+            for table, idx in zip(tables, indices):
+                if idx >= len(table):
+                    return
+                prob *= table[idx][1]
+            heapq.heappush(heap, (-prob, next(counter), pattern_str, indices))
+
+        for pattern_str in self.pattern_probs:
+            tables = self._tables_for(pattern_str)
+            if all(tables):
+                push(pattern_str, (0,) * len(tables))
+
+        while heap:
+            neg_prob, _, pattern_str, indices = heapq.heappop(heap)
+            tables = self._tables_for(pattern_str)
+            yield "".join(t[i][0] for t, i in zip(tables, indices)), -neg_prob
+            for seg_pos in range(len(indices)):
+                bumped = list(indices)
+                bumped[seg_pos] += 1
+                if bumped[seg_pos] < len(tables[seg_pos]):
+                    push(pattern_str, tuple(bumped))
+
+    def _tables_for(self, pattern_str: str) -> list[list[tuple[str, float]]]:
+        pattern = Pattern.parse(pattern_str)
+        return [self.segment_tables.get(seg.token, []) for seg in pattern]
+
+    # ------------------------------------------------------------------
+    def generate(self, n: int, seed: int = 0) -> list[str]:
+        """First ``n`` guesses of the descending-probability enumeration.
+
+        ``seed`` is accepted for interface parity but unused — PCFG
+        enumeration is deterministic.
+        """
+        return [pw for pw, _ in itertools.islice(self.iter_guesses(), n)]
+
+    def generate_with_pattern(self, pattern: Pattern, n: int, seed: int = 0) -> list[str]:
+        """Descending-probability passwords conforming to one pattern."""
+        self._require_fitted(self._fitted)
+        tables = self._tables_for(pattern.string)
+        if not all(tables):
+            return []
+        counter = itertools.count()
+        heap: list[tuple[float, int, tuple[int, ...]]] = []
+        seen: set[tuple[int, ...]] = set()
+
+        def push(indices: tuple[int, ...]) -> None:
+            if indices in seen:
+                return
+            seen.add(indices)
+            prob = 1.0
+            for table, idx in zip(tables, indices):
+                if idx >= len(table):
+                    return
+                prob *= table[idx][1]
+            heapq.heappush(heap, (-prob, next(counter), indices))
+
+        push((0,) * len(tables))
+        out: list[str] = []
+        while heap and len(out) < n:
+            _, _, indices = heapq.heappop(heap)
+            out.append("".join(t[i][0] for t, i in zip(tables, indices)))
+            for seg_pos in range(len(indices)):
+                bumped = list(indices)
+                bumped[seg_pos] += 1
+                if bumped[seg_pos] < len(tables[seg_pos]):
+                    push(tuple(bumped))
+        return out

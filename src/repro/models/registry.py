@@ -1,0 +1,47 @@
+"""Model registry: build any model of the zoo by name.
+
+Used by the benchmark harness and examples so "the six rows of Table IV"
+are data, not code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import PasswordGuesser
+from .markov import MarkovModel
+from .pagpassgpt import PagPassGPT
+from .passflow import PassFlow
+from .passgan import PassGAN
+from .passgpt import PassGPT
+from .pcfg import PCFGModel
+from .rulebased import RuleBasedModel
+from .vaepass import VAEPass
+
+_FACTORIES: dict[str, Callable[..., PasswordGuesser]] = {
+    "pagpassgpt": PagPassGPT,
+    "passgpt": PassGPT,
+    "passgan": PassGAN,
+    "vaepass": VAEPass,
+    "passflow": PassFlow,
+    "pcfg": PCFGModel,
+    "markov": MarkovModel,
+    "rulebased": RuleBasedModel,
+}
+
+
+def available_models() -> list[str]:
+    """Names accepted by :func:`create_model`."""
+    return sorted(_FACTORIES)
+
+
+def create_model(name: str, **kwargs) -> PasswordGuesser:
+    """Instantiate a model by (case-insensitive) registry name."""
+    key = name.lower().replace("-", "").replace("_", "")
+    aliases = {"pagpassgptdc": "pagpassgpt"}  # the D&C wrapper wraps a base model
+    key = aliases.get(key, key)
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}") from None
+    return factory(**kwargs)

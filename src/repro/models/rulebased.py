@@ -1,0 +1,136 @@
+"""Rule-based password guesser (§II-B1: the Hashcat / John-the-Ripper family).
+
+The earliest guessing approach: take a wordlist (here: the training
+corpus's most frequent base words) and apply *mangling rules* —
+capitalisation, leetspeak, digit/special appends — in a fixed, popularity-
+ordered schedule.  Deterministic, extremely fast, and entirely dependent
+on its background knowledge, which is the weakness the paper cites.
+
+This is an extension beyond the paper's comparison set (the paper only
+*discusses* rule-based models), included to complete the §II-B taxonomy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterator
+
+from ..datasets.corpus import PasswordCorpus
+from .base import PasswordGuesser
+
+#: Suffixes in rough real-world popularity order (Hashcat best64 spirit).
+_APPENDS: tuple[str, ...] = (
+    "", "1", "123", "12", "2", "!", "01", "7", "123456", "21", "69", "007",
+    "13", "11", "22", "1234", "99", "00", "2000", "2010", "1!", "123!",
+    "!!", "@", "#", "*", "1990", "1995", "2020",
+)
+
+_LEET = str.maketrans({"a": "@", "e": "3", "i": "1", "o": "0", "s": "$"})
+
+
+def _identity(word: str) -> str:
+    return word
+
+
+def _capitalize(word: str) -> str:
+    return word.capitalize()
+
+
+def _upper(word: str) -> str:
+    return word.upper()
+
+
+def _reverse(word: str) -> str:
+    return word[::-1]
+
+
+def _leet(word: str) -> str:
+    return word.translate(_LEET)
+
+
+def _duplicate(word: str) -> str:
+    return word + word
+
+
+#: Word transformations, ordered by how often users actually apply them.
+TRANSFORMS: tuple[Callable[[str], str], ...] = (
+    _identity,
+    _capitalize,
+    _upper,
+    _leet,
+    _reverse,
+    _duplicate,
+)
+
+
+class RuleBasedModel(PasswordGuesser):
+    """Wordlist + mangling-rule guesser.
+
+    ``fit`` extracts the most frequent alphabetic *base words* from the
+    training corpus (maximal letter runs of length >= 3, lowercased);
+    ``generate`` walks words x transforms x appends in popularity order.
+    """
+
+    name = "RuleBased"
+
+    def __init__(self, max_words: int = 2_000, min_word_len: int = 3) -> None:
+        if max_words < 1:
+            raise ValueError("max_words must be >= 1")
+        self.max_words = max_words
+        self.min_word_len = min_word_len
+        self.wordlist: list[str] = []
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, corpus: PasswordCorpus, **kwargs) -> "RuleBasedModel":
+        counts: Counter[str] = Counter()
+        for password in corpus:
+            for word in self._letter_runs(password):
+                counts[word.lower()] += 1
+        self.wordlist = [w for w, _ in counts.most_common(self.max_words)]
+        self._fitted = True
+        return self
+
+    def _letter_runs(self, password: str) -> Iterator[str]:
+        run: list[str] = []
+        for ch in password:
+            if ch.isalpha():
+                run.append(ch)
+            else:
+                if len(run) >= self.min_word_len:
+                    yield "".join(run)
+                run = []
+        if len(run) >= self.min_word_len:
+            yield "".join(run)
+
+    # ------------------------------------------------------------------
+    def iter_guesses(self) -> Iterator[str]:
+        """Deterministic enumeration: appends outermost, then transforms,
+        then words — so the head of the stream covers every word with the
+        most popular manglings first."""
+        self._require_fitted(self._fitted)
+        seen: set[str] = set()
+        for append in _APPENDS:
+            for transform in TRANSFORMS:
+                for word in self.wordlist:
+                    guess = transform(word) + append
+                    if 4 <= len(guess) <= 12 and guess not in seen:
+                        seen.add(guess)
+                        yield guess
+
+    def generate(self, n: int, seed: int = 0) -> list[str]:
+        """First ``n`` guesses of the rule schedule (duplicate-free).
+
+        ``seed`` is unused: rule-based guessing is deterministic.
+        """
+        out: list[str] = []
+        for guess in self.iter_guesses():
+            out.append(guess)
+            if len(out) >= n:
+                break
+        return out
+
+    @property
+    def max_guesses(self) -> int:
+        """Upper bound on distinct guesses this schedule can emit."""
+        return len(self.wordlist) * len(TRANSFORMS) * len(_APPENDS)

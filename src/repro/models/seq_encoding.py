@@ -1,0 +1,59 @@
+"""Fixed-length sequence encodings shared by the GAN/VAE/flow baselines.
+
+PassGAN, VAEPass and PassFlow all operate on fixed-length representations:
+each password is padded to :data:`SEQ_LEN` positions over an alphabet of
+the 94 visible-ASCII characters plus one terminator/padding symbol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tokenizer.charset import VISIBLE_ASCII
+from ..tokenizer.patterns import MAX_PASSWORD_LENGTH
+
+#: Fixed sequence length (max cleaned password length, §IV-A1).
+SEQ_LEN = MAX_PASSWORD_LENGTH
+#: Alphabet: 94 visible-ASCII chars + terminator/pad at index 94.
+ALPHABET = VISIBLE_ASCII + "\x00"
+PAD_INDEX = len(ALPHABET) - 1
+VOCAB_SIZE = len(ALPHABET)
+
+_CHAR_INDEX = {c: i for i, c in enumerate(ALPHABET)}
+
+
+def encode_indices(passwords: list[str]) -> np.ndarray:
+    """Passwords -> ``(n, SEQ_LEN)`` int index matrix, padded with PAD."""
+    out = np.full((len(passwords), SEQ_LEN), PAD_INDEX, dtype=np.int64)
+    for row, pw in enumerate(passwords):
+        if len(pw) > SEQ_LEN:
+            raise ValueError(f"password longer than {SEQ_LEN}: {pw!r}")
+        for col, ch in enumerate(pw):
+            try:
+                out[row, col] = _CHAR_INDEX[ch]
+            except KeyError:
+                raise ValueError(f"character {ch!r} outside the model alphabet") from None
+    return out
+
+
+def encode_onehot(passwords: list[str]) -> np.ndarray:
+    """Passwords -> flattened one-hot ``(n, SEQ_LEN * VOCAB_SIZE)`` floats."""
+    idx = encode_indices(passwords)
+    onehot = np.zeros((len(passwords), SEQ_LEN, VOCAB_SIZE), dtype=np.float32)
+    rows = np.arange(len(passwords))[:, None]
+    cols = np.arange(SEQ_LEN)[None, :]
+    onehot[rows, cols, idx] = 1.0
+    return onehot.reshape(len(passwords), SEQ_LEN * VOCAB_SIZE)
+
+
+def decode_indices(indices: np.ndarray) -> list[str]:
+    """Index matrix -> passwords (stops each row at the first PAD)."""
+    out: list[str] = []
+    for row in np.asarray(indices):
+        chars: list[str] = []
+        for idx in row:
+            if int(idx) == PAD_INDEX:
+                break
+            chars.append(ALPHABET[int(idx)])
+        out.append("".join(chars))
+    return out

@@ -1,0 +1,121 @@
+"""VAEPass baseline (Yang et al. 2022) — variational autoencoder guesser.
+
+MLP encoder/decoder over fixed-length one-hot passwords with the standard
+reparameterised ELBO (reconstruction cross-entropy + beta-weighted KL).
+Generation samples the latent prior and decodes greedily, so the model
+carries the continuous-to-discrete accuracy loss the paper attributes to
+the AE family (§II-B3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..autograd import functional as F
+from ..datasets.corpus import PasswordCorpus
+from ..nn import MLP, Adam, Linear
+from ..nn.module import Module
+from .base import PasswordGuesser
+from .seq_encoding import (
+    SEQ_LEN,
+    VOCAB_SIZE,
+    decode_indices,
+    encode_indices,
+    encode_onehot,
+)
+
+_FLAT = SEQ_LEN * VOCAB_SIZE
+
+
+class _VAENet(Module):
+    """Encoder (one-hot -> mu, logvar) and decoder (z -> logits)."""
+
+    def __init__(self, latent_dim: int, hidden: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.encoder = MLP([_FLAT, hidden, hidden], rng, activation=Tensor.relu)
+        self.mu_head = Linear(hidden, latent_dim, rng)
+        self.logvar_head = Linear(hidden, latent_dim, rng)
+        self.decoder = MLP([latent_dim, hidden, hidden, _FLAT], rng, activation=Tensor.relu)
+
+    def encode(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        h = self.encoder(x)
+        return self.mu_head(h), self.logvar_head(h)
+
+    def decode(self, z: Tensor) -> Tensor:
+        return self.decoder(z)
+
+
+class VAEPass(PasswordGuesser):
+    """Variational autoencoder over fixed-length password tensors."""
+
+    name = "VAEPass"
+
+    def __init__(
+        self,
+        latent_dim: int = 48,
+        hidden: int = 256,
+        beta: float = 0.5,
+        epochs: int = 6,
+        batch_size: int = 128,
+        lr: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        self.latent_dim = latent_dim
+        self.beta = beta
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        self.net = _VAENet(latent_dim, hidden, np.random.default_rng(seed))
+        self._fitted = False
+        self.losses: list[float] = []
+
+    # ------------------------------------------------------------------
+    def _elbo_loss(self, onehot: np.ndarray, targets: np.ndarray, rng) -> Tensor:
+        x = Tensor(onehot)
+        mu, logvar = self.net.encode(x)
+        eps = rng.normal(size=mu.shape).astype(np.float32)
+        z = mu + (logvar * 0.5).exp() * Tensor(eps)
+        logits = self.net.decode(z).reshape(len(onehot), SEQ_LEN, VOCAB_SIZE)
+        recon = F.cross_entropy(logits, targets)
+        mu2 = mu * mu
+        kl = ((mu2 + logvar.exp() - logvar - 1.0) * 0.5).sum() * (1.0 / len(onehot))
+        return recon + kl * self.beta
+
+    def fit(self, corpus: PasswordCorpus, log_fn=None, **kwargs) -> "VAEPass":
+        rng = np.random.default_rng(self.seed)
+        onehot = encode_onehot(corpus.passwords)
+        targets = encode_indices(corpus.passwords)
+        optimizer = Adam(self.net.parameters(), lr=self.lr)
+        order = np.arange(len(onehot))
+        for epoch in range(self.epochs):
+            rng.shuffle(order)
+            epoch_loss, seen = 0.0, 0
+            for start in range(0, len(order), self.batch_size):
+                sel = order[start : start + self.batch_size]
+                optimizer.zero_grad()
+                loss = self._elbo_loss(onehot[sel], targets[sel], rng)
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item() * len(sel)
+                seen += len(sel)
+            self.losses.append(epoch_loss / seen)
+            if log_fn is not None:
+                log_fn(f"VAEPass epoch {epoch}: elbo {self.losses[-1]:.4f}")
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def generate(self, n: int, seed: int = 0) -> list[str]:
+        """Sample the latent prior; decode greedily per position."""
+        self._require_fitted(self._fitted)
+        rng = np.random.default_rng(seed)
+        out: list[str] = []
+        for start in range(0, n, 1024):
+            batch = min(1024, n - start)
+            z = rng.normal(size=(batch, self.latent_dim)).astype(np.float32)
+            with no_grad():
+                logits = self.net.decode(Tensor(z)).data.reshape(batch, SEQ_LEN, VOCAB_SIZE)
+            out.extend(decode_indices(logits.argmax(axis=-1)))
+        return out

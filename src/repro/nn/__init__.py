@@ -1,0 +1,38 @@
+"""Neural-network library on top of :mod:`repro.autograd`."""
+
+from .module import Module, Parameter
+from .layers import Linear, Embedding, LayerNorm, Dropout, Sequential, MLP
+from .attention import CausalSelfAttention, causal_mask
+from .transformer import GPT2Config, GPT2Model, TransformerBlock
+from .inference import GPT2Inference, KVCache
+from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
+from .schedules import LRSchedule, WarmupCosine, WarmupLinear
+from .serialization import save_checkpoint, load_checkpoint
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "MLP",
+    "CausalSelfAttention",
+    "causal_mask",
+    "GPT2Config",
+    "GPT2Model",
+    "TransformerBlock",
+    "GPT2Inference",
+    "KVCache",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "Optimizer",
+    "clip_grad_norm",
+    "LRSchedule",
+    "WarmupCosine",
+    "WarmupLinear",
+    "save_checkpoint",
+    "load_checkpoint",
+]

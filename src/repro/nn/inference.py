@@ -1,0 +1,213 @@
+"""Fast numpy-only inference path for :class:`GPT2Model` with a KV cache.
+
+Generation (especially D&C-GEN, which queries thousands of next-token
+distributions) dominates runtime, so this module re-implements the GPT-2
+forward pass in plain numpy with a pre-allocated key/value cache instead of
+walking the autograd graph.  Equivalence with the training path is
+enforced by tests (`tests/test_nn_inference.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .transformer import GPT2Model
+
+_NEG_INF = -1e9
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    # x*x*x instead of x**3: numpy's pow loop is ~100x slower elementwise.
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * (x * x * x))))
+
+
+def _layer_norm(x: np.ndarray, w: np.ndarray, b: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mu) / np.sqrt(var + eps) * w + b
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+@dataclass
+class _BlockWeights:
+    ln1_w: np.ndarray
+    ln1_b: np.ndarray
+    qkv_w: np.ndarray
+    qkv_b: np.ndarray
+    proj_w: np.ndarray
+    proj_b: np.ndarray
+    ln2_w: np.ndarray
+    ln2_b: np.ndarray
+    fc_w: np.ndarray
+    fc_b: np.ndarray
+    fc_proj_w: np.ndarray
+    fc_proj_b: np.ndarray
+
+
+class KVCache:
+    """Pre-allocated per-layer key/value cache for a generation batch."""
+
+    def __init__(self, n_layers: int, batch: int, n_heads: int, block_size: int, head_dim: int) -> None:
+        shape = (batch, n_heads, block_size, head_dim)
+        self.keys = [np.zeros(shape, dtype=np.float32) for _ in range(n_layers)]
+        self.values = [np.zeros(shape, dtype=np.float32) for _ in range(n_layers)]
+        self.length = 0
+        self.batch = batch
+
+    def select(self, rows: np.ndarray) -> "KVCache":
+        """Return a new cache containing only the given batch rows.
+
+        Used by D&C-GEN when a task batch is split into surviving
+        sub-prefixes.
+        """
+        out = KVCache.__new__(KVCache)
+        out.keys = [k[rows].copy() for k in self.keys]
+        out.values = [v[rows].copy() for v in self.values]
+        out.length = self.length
+        out.batch = int(len(rows))
+        return out
+
+    def repeat_rows(self, row: int, count: int) -> "KVCache":
+        """Return a cache with one row replicated ``count`` times."""
+        out = KVCache.__new__(KVCache)
+        out.keys = [np.repeat(k[row : row + 1], count, axis=0) for k in self.keys]
+        out.values = [np.repeat(v[row : row + 1], count, axis=0) for v in self.values]
+        out.length = self.length
+        out.batch = count
+        return out
+
+
+class GPT2Inference:
+    """Numpy forward pass over a trained :class:`GPT2Model`'s weights.
+
+    The instance snapshots the model weights at construction time; rebuild
+    it after further training steps.
+    """
+
+    def __init__(self, model: GPT2Model) -> None:
+        cfg = model.config
+        self.config = cfg
+        self.token_emb = model.token_emb.weight.data
+        self.pos_emb = model.pos_emb.weight.data
+        self.ln_f_w = model.ln_f.weight.data
+        self.ln_f_b = model.ln_f.bias.data
+        if model.lm_head is not None:
+            self.lm_head = model.lm_head.weight.data
+        else:
+            self.lm_head = self.token_emb.T
+        self.blocks = [
+            _BlockWeights(
+                ln1_w=b.ln1.weight.data,
+                ln1_b=b.ln1.bias.data,
+                qkv_w=b.attn.qkv.weight.data,
+                qkv_b=b.attn.qkv.bias.data,
+                proj_w=b.attn.proj.weight.data,
+                proj_b=b.attn.proj.bias.data,
+                ln2_w=b.ln2.weight.data,
+                ln2_b=b.ln2.bias.data,
+                fc_w=b.fc.weight.data,
+                fc_b=b.fc.bias.data,
+                fc_proj_w=b.fc_proj.weight.data,
+                fc_proj_b=b.fc_proj.bias.data,
+            )
+            for b in model.blocks
+        ]
+
+    # ------------------------------------------------------------------
+    # Full-sequence forward (no cache)
+    # ------------------------------------------------------------------
+    def logits(self, ids: np.ndarray) -> np.ndarray:
+        """Next-token logits for every position; ids shape ``(B, S)``."""
+        ids = np.asarray(ids)
+        batch, seq = ids.shape
+        cfg = self.config
+        if seq > cfg.block_size:
+            raise ValueError(f"sequence length {seq} exceeds block size {cfg.block_size}")
+        x = self.token_emb[ids] + self.pos_emb[:seq]
+        mask = np.triu(np.ones((seq, seq), dtype=bool), k=1)
+        for bw in self.blocks:
+            x = x + self._attention(_layer_norm(x, bw.ln1_w, bw.ln1_b), bw, mask)
+            h = _layer_norm(x, bw.ln2_w, bw.ln2_b)
+            x = x + _gelu(h @ bw.fc_w + bw.fc_b) @ bw.fc_proj_w + bw.fc_proj_b
+        x = _layer_norm(x, self.ln_f_w, self.ln_f_b)
+        return x @ self.lm_head
+
+    def _attention(self, x: np.ndarray, bw: _BlockWeights, mask: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        batch, seq, _ = x.shape
+        qkv = x @ bw.qkv_w + bw.qkv_b
+        qkv = qkv.reshape(batch, seq, 3, cfg.n_heads, cfg.dim // cfg.n_heads)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        scores = q @ np.swapaxes(k, -1, -2) / np.sqrt(cfg.dim // cfg.n_heads)
+        scores = np.where(mask[None, None], _NEG_INF, scores)
+        out = _softmax(scores) @ v
+        out = out.transpose(0, 2, 1, 3).reshape(batch, seq, cfg.dim)
+        return out @ bw.proj_w + bw.proj_b
+
+    # ------------------------------------------------------------------
+    # Cached incremental decoding
+    # ------------------------------------------------------------------
+    def start(self, prompt_ids: np.ndarray) -> tuple[np.ndarray, KVCache]:
+        """Prime a KV cache with a common prompt.
+
+        Parameters
+        ----------
+        prompt_ids:
+            ``(batch, prompt_len)`` token ids (all rows may differ).
+
+        Returns
+        -------
+        (last_logits, cache):
+            ``last_logits`` has shape ``(batch, vocab)`` — the distribution
+            for the token following the prompt.
+        """
+        prompt_ids = np.asarray(prompt_ids)
+        batch, seq = prompt_ids.shape
+        cfg = self.config
+        cache = KVCache(cfg.n_layers, batch, cfg.n_heads, cfg.block_size, cfg.dim // cfg.n_heads)
+        logits = self._forward_cached(prompt_ids, cache)
+        return logits, cache
+
+    def step(self, next_ids: np.ndarray, cache: KVCache) -> np.ndarray:
+        """Feed one more token per row; returns ``(batch, vocab)`` logits."""
+        next_ids = np.asarray(next_ids).reshape(-1, 1)
+        return self._forward_cached(next_ids, cache)
+
+    def _forward_cached(self, ids: np.ndarray, cache: KVCache) -> np.ndarray:
+        cfg = self.config
+        batch, seq = ids.shape
+        start = cache.length
+        stop = start + seq
+        if stop > cfg.block_size:
+            raise ValueError(f"cache overflow: {stop} > block size {cfg.block_size}")
+        head_dim = cfg.dim // cfg.n_heads
+        x = self.token_emb[ids] + self.pos_emb[start:stop]
+        # causal mask restricted to the new queries attending over [0, stop)
+        mask = np.triu(np.ones((seq, stop), dtype=bool), k=1 + start)
+        for layer, bw in enumerate(self.blocks):
+            h = _layer_norm(x, bw.ln1_w, bw.ln1_b)
+            qkv = h @ bw.qkv_w + bw.qkv_b
+            qkv = qkv.reshape(batch, seq, 3, cfg.n_heads, head_dim).transpose(2, 0, 3, 1, 4)
+            q, k_new, v_new = qkv[0], qkv[1], qkv[2]
+            cache.keys[layer][:, :, start:stop] = k_new
+            cache.values[layer][:, :, start:stop] = v_new
+            k = cache.keys[layer][:, :, :stop]
+            v = cache.values[layer][:, :, :stop]
+            scores = q @ np.swapaxes(k, -1, -2) / np.sqrt(head_dim)
+            scores = np.where(mask[None, None], _NEG_INF, scores)
+            att = _softmax(scores) @ v
+            att = att.transpose(0, 2, 1, 3).reshape(batch, seq, cfg.dim)
+            x = x + att @ bw.proj_w + bw.proj_b
+            h2 = _layer_norm(x, bw.ln2_w, bw.ln2_b)
+            x = x + _gelu(h2 @ bw.fc_w + bw.fc_b) @ bw.fc_proj_w + bw.fc_proj_b
+        cache.length = stop
+        x_last = _layer_norm(x[:, -1], self.ln_f_w, self.ln_f_b)
+        return x_last @ self.lm_head

@@ -1,0 +1,124 @@
+"""Optimisers: SGD, Adam, AdamW (the paper trains with AdamW, §IV-B1)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .module import Parameter
+
+
+def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients in-place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging).
+    """
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad.astype(np.float64) ** 2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm
+
+
+class Optimizer:
+    """Base optimiser over a fixed parameter list."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        bc1 = 1.0 - self.beta1**self.t
+        bc2 = 1.0 - self.beta2**self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= self.beta1
+            m += (1 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1 - self.beta2) * (p.grad * p.grad)
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter).
+
+    This is the optimiser the paper uses (initial lr 5e-5, §IV-B1).
+    Weight decay is skipped for parameters listed in ``no_decay`` (by
+    identity), typically biases and layer-norm gains.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 5e-5,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+        no_decay: Optional[Iterable[Parameter]] = None,
+    ) -> None:
+        super().__init__(params, lr=lr, betas=betas, eps=eps)
+        self.weight_decay = weight_decay
+        self._no_decay_ids = {id(p) for p in (no_decay or [])}
+
+    def step(self) -> None:
+        if self.weight_decay:
+            for p in self.params:
+                if p.grad is not None and id(p) not in self._no_decay_ids:
+                    p.data -= self.lr * self.weight_decay * p.data
+        super().step()

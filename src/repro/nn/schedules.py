@@ -1,0 +1,69 @@
+"""Learning-rate schedules (linear warmup + cosine/linear decay)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optim import Optimizer
+
+
+class LRSchedule:
+    """Base schedule: call :meth:`step` once per optimisation step."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: float) -> None:
+        self.optimizer = optimizer
+        self.base_lr = base_lr
+        self.step_count = 0
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step and apply the new learning rate."""
+        lr = self.lr_at(self.step_count)
+        self.optimizer.lr = lr
+        self.step_count += 1
+        return lr
+
+
+class WarmupCosine(LRSchedule):
+    """Linear warmup to ``base_lr`` then cosine decay to ``min_lr``."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        base_lr: float,
+        warmup_steps: int,
+        total_steps: int,
+        min_lr: float = 0.0,
+    ) -> None:
+        super().__init__(optimizer, base_lr)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.warmup_steps = max(0, warmup_steps)
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        progress = (step - self.warmup_steps) / max(1, self.total_steps - self.warmup_steps)
+        progress = min(1.0, progress)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + np.cos(np.pi * progress))
+
+
+class WarmupLinear(LRSchedule):
+    """Linear warmup then linear decay to zero (HF default for GPT-2 FT)."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: float, warmup_steps: int, total_steps: int) -> None:
+        super().__init__(optimizer, base_lr)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.warmup_steps = max(0, warmup_steps)
+        self.total_steps = total_steps
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        remaining = max(0.0, self.total_steps - step)
+        return self.base_lr * remaining / max(1, self.total_steps - self.warmup_steps)

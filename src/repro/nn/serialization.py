@@ -1,0 +1,35 @@
+"""Checkpointing: save/load module state dicts as compressed npz files."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+from .module import Module
+
+_META_KEY = "__meta_json__"
+
+
+def save_checkpoint(module: Module, path: str | Path, meta: Optional[dict[str, Any]] = None) -> None:
+    """Write ``module``'s parameters (and optional JSON metadata) to npz."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name collides with reserved key {_META_KEY}")
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(json.dumps(meta or {}).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+
+
+def load_checkpoint(module: Module, path: str | Path) -> dict[str, Any]:
+    """Load parameters into ``module``; returns the stored metadata dict."""
+    path = Path(path)
+    with np.load(path) as data:
+        meta = json.loads(bytes(data[_META_KEY]).decode()) if _META_KEY in data else {}
+        state = {k: data[k] for k in data.files if k != _META_KEY}
+    module.load_state_dict(state)
+    return meta

@@ -1,0 +1,136 @@
+"""GPT-2 decoder-only transformer (the paper's backbone for both models).
+
+Architecture per Radford et al. 2019 and §III-B of the paper: token +
+learned position embeddings, pre-LN transformer blocks (masked multi-head
+self-attention, GELU MLP with 4x expansion), final layer norm, and a
+language-modelling head tied to the token embedding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import functional as F
+from ..autograd.tensor import Tensor
+from .attention import CausalSelfAttention
+from .layers import Dropout, Embedding, LayerNorm, Linear
+from .module import Module
+
+
+@dataclass(frozen=True)
+class GPT2Config:
+    """Hyper-parameters of the GPT-2 backbone.
+
+    The paper's configuration is ``block_size=32``, ``dim=256``,
+    ``n_layers=12``, ``n_heads=8`` (§IV-B1); the reproduction defaults to a
+    CPU-sized variant and the tests shrink it further.
+    """
+
+    vocab_size: int
+    block_size: int = 32
+    dim: int = 128
+    n_layers: int = 4
+    n_heads: int = 4
+    dropout: float = 0.1
+    tie_lm_head: bool = True
+
+    def __post_init__(self) -> None:
+        if self.dim % self.n_heads != 0:
+            raise ValueError("dim must be divisible by n_heads")
+        if self.vocab_size <= 0 or self.block_size <= 0:
+            raise ValueError("vocab_size and block_size must be positive")
+
+    @classmethod
+    def paper(cls, vocab_size: int) -> "GPT2Config":
+        """The exact configuration reported in §IV-B1 of the paper."""
+        return cls(vocab_size=vocab_size, block_size=32, dim=256, n_layers=12, n_heads=8)
+
+
+class TransformerBlock(Module):
+    """Pre-LN block: ``x + attn(ln(x))`` then ``x + mlp(ln(x))``."""
+
+    def __init__(self, config: GPT2Config, rng: np.random.Generator) -> None:
+        super().__init__()
+        # GPT-2 scales residual projections by 1/sqrt(2 * n_layers).
+        proj_std = 0.02 / np.sqrt(2 * config.n_layers)
+        self.ln1 = LayerNorm(config.dim)
+        self.attn = CausalSelfAttention(
+            config.dim,
+            config.n_heads,
+            rng,
+            attn_dropout=config.dropout,
+            resid_dropout=config.dropout,
+            proj_std=proj_std,
+        )
+        self.ln2 = LayerNorm(config.dim)
+        self.fc = Linear(config.dim, 4 * config.dim, rng)
+        self.fc_proj = Linear(4 * config.dim, config.dim, rng, std=proj_std)
+        self.mlp_drop = Dropout(config.dropout, rng)
+
+    def forward(self, x: Tensor, pad_mask: np.ndarray | None = None) -> Tensor:
+        x = x + self.attn(self.ln1(x), pad_mask=pad_mask)
+        x = x + self.mlp_drop(self.fc_proj(F.gelu(self.fc(self.ln2(x)))))
+        return x
+
+
+class GPT2Model(Module):
+    """Decoder-only GPT-2 language model over a token vocabulary."""
+
+    def __init__(self, config: GPT2Config, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.token_emb = Embedding(config.vocab_size, config.dim, rng)
+        self.pos_emb = Embedding(config.block_size, config.dim, rng, std=0.01)
+        self.drop = Dropout(config.dropout, rng)
+        self.blocks = [TransformerBlock(config, rng) for _ in range(config.n_layers)]
+        self.ln_f = LayerNorm(config.dim)
+        if config.tie_lm_head:
+            self.lm_head = None  # logits computed against token_emb.weight.T
+        else:
+            self.lm_head = Linear(config.dim, config.vocab_size, rng, bias=False)
+
+    def forward(self, ids: np.ndarray, pad_mask: np.ndarray | None = None) -> Tensor:
+        """Compute next-token logits for every position.
+
+        Parameters
+        ----------
+        ids:
+            Integer token array ``(batch, seq)`` with ``seq <= block_size``.
+        pad_mask:
+            Optional boolean array ``(batch, seq)``, True at pad positions.
+
+        Returns
+        -------
+        Tensor
+            Logits of shape ``(batch, seq, vocab_size)``.
+        """
+        ids = np.asarray(ids)
+        if ids.ndim != 2:
+            raise ValueError(f"ids must be 2-D (batch, seq), got shape {ids.shape}")
+        _, seq = ids.shape
+        if seq > self.config.block_size:
+            raise ValueError(f"sequence length {seq} exceeds block size {self.config.block_size}")
+        positions = np.arange(seq)
+        x = self.token_emb(ids) + self.pos_emb(positions)
+        x = self.drop(x)
+        for block in self.blocks:
+            x = block(x, pad_mask=pad_mask)
+        x = self.ln_f(x)
+        if self.lm_head is not None:
+            return self.lm_head(x)
+        return x.matmul(self.token_emb.weight.transpose())
+
+    def loss(self, ids: np.ndarray, pad_token_id: int) -> Tensor:
+        """Causal LM loss: predict ``ids[:, 1:]`` from ``ids[:, :-1]``.
+
+        Positions whose *target* is ``pad_token_id`` are excluded from the
+        loss, matching the paper's training on padded rule strings.
+        """
+        ids = np.asarray(ids)
+        inputs, targets = ids[:, :-1], ids[:, 1:]
+        pad_mask = inputs == pad_token_id
+        logits = self.forward(inputs, pad_mask=pad_mask)
+        return F.cross_entropy(logits, targets, ignore_index=pad_token_id)

@@ -1,0 +1,52 @@
+"""Character classes used by PCFG segmentation and the tokenizer vocabulary.
+
+Per §IV-A of the paper, passwords are restricted to the 94 visible ASCII
+characters (codes 33-126, i.e. printable ASCII minus the space): 52
+letters, 10 digits and 32 special characters.
+"""
+
+from __future__ import annotations
+
+import string
+
+LETTERS: str = string.ascii_letters
+DIGITS: str = string.digits
+SPECIALS: str = "".join(
+    chr(c) for c in range(33, 127) if chr(c) not in string.ascii_letters + string.digits
+)
+VISIBLE_ASCII: str = "".join(chr(c) for c in range(33, 127))
+
+assert len(LETTERS) == 52 and len(DIGITS) == 10 and len(SPECIALS) == 32
+assert len(VISIBLE_ASCII) == 94
+
+CLASS_LETTER = "L"
+CLASS_DIGIT = "N"
+CLASS_SPECIAL = "S"
+CHAR_CLASSES = (CLASS_LETTER, CLASS_DIGIT, CLASS_SPECIAL)
+
+_CLASS_OF = {}
+for _c in LETTERS:
+    _CLASS_OF[_c] = CLASS_LETTER
+for _c in DIGITS:
+    _CLASS_OF[_c] = CLASS_DIGIT
+for _c in SPECIALS:
+    _CLASS_OF[_c] = CLASS_SPECIAL
+
+CLASS_MEMBERS = {CLASS_LETTER: LETTERS, CLASS_DIGIT: DIGITS, CLASS_SPECIAL: SPECIALS}
+
+
+def char_class(ch: str) -> str:
+    """Return 'L', 'N' or 'S' for a visible-ASCII character.
+
+    Raises ``ValueError`` for anything outside the supported charset
+    (non-ASCII, space, control characters).
+    """
+    try:
+        return _CLASS_OF[ch]
+    except KeyError:
+        raise ValueError(f"character {ch!r} is outside the visible-ASCII password charset") from None
+
+
+def is_visible_ascii(text: str) -> bool:
+    """True if every character of ``text`` is in the 94-char password set."""
+    return all(ch in _CLASS_OF for ch in text)

@@ -1,0 +1,54 @@
+"""Longer-password configurations (§V of the paper).
+
+The paper's model is capped at 12-character passwords by its vocabulary
+and position encoding, and §V notes that supporting longer passwords "is
+a straightforward process, accomplished by extending the input window"
+and the tokenizer vocabulary.  This module does exactly that: it builds a
+wider vocabulary (pattern tokens up to ``L<n>``/``N<n>``/``S<n>``) and a
+matching tokenizer/GPT-2 configuration.
+"""
+
+from __future__ import annotations
+
+from ..nn.transformer import GPT2Config
+from .patterns import ABSOLUTE_MAX_SEGMENT_LENGTH, MIN_PASSWORD_LENGTH
+from .tokenizer import PasswordTokenizer
+from .vocab import Vocabulary
+
+
+def build_extended_tokenizer(max_password_length: int) -> PasswordTokenizer:
+    """A :class:`PasswordTokenizer` for passwords up to the given length.
+
+    The vocabulary grows by ``3 * (max_password_length - 12)`` pattern
+    tokens and the block size to ``3 + 2 * max_password_length``
+    (worst case: a fully alternating pattern plus framing tokens).
+    """
+    if not MIN_PASSWORD_LENGTH <= max_password_length <= ABSOLUTE_MAX_SEGMENT_LENGTH:
+        raise ValueError(
+            f"max_password_length must be in "
+            f"[{MIN_PASSWORD_LENGTH}, {ABSOLUTE_MAX_SEGMENT_LENGTH}]"
+        )
+    vocab = Vocabulary(max_segment_length=max_password_length)
+    return PasswordTokenizer(
+        vocab=vocab,
+        block_size=3 + 2 * max_password_length,
+        max_password_length=max_password_length,
+    )
+
+
+def extended_gpt2_config(
+    tokenizer: PasswordTokenizer,
+    dim: int = 64,
+    n_layers: int = 3,
+    n_heads: int = 4,
+    dropout: float = 0.1,
+) -> GPT2Config:
+    """A GPT-2 configuration matching an extended tokenizer."""
+    return GPT2Config(
+        vocab_size=len(tokenizer.vocab),
+        block_size=tokenizer.block_size,
+        dim=dim,
+        n_layers=n_layers,
+        n_heads=n_heads,
+        dropout=dropout,
+    )

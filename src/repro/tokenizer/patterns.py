@@ -1,0 +1,179 @@
+"""PCFG pattern extraction (§II-C) — e.g. ``"Pass123$" -> L4N3S1``.
+
+A *pattern* is the sequence of maximal same-class runs of a password,
+written as class letter + run length.  Patterns are both the conditioning
+prefix of PagPassGPT and the unit of probability in the classical PCFG
+baseline, so this module is shared by the whole model zoo.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+from .charset import CHAR_CLASSES, CLASS_MEMBERS, char_class
+
+#: Maximum per-segment run length representable in the paper's vocabulary
+#: (pattern tokens L1..L12 / N1..N12 / S1..S12 — 36 tokens, §III-B1).
+MAX_SEGMENT_LENGTH = 12
+
+#: Hard ceiling for extended configurations (§V discusses longer
+#: passwords as a straightforward retraining; ``repro.tokenizer.extended``
+#: builds vocabularies up to this run length).
+ABSOLUTE_MAX_SEGMENT_LENGTH = 32
+
+#: Maximum password length after data cleaning (§IV-A1).
+MAX_PASSWORD_LENGTH = 12
+MIN_PASSWORD_LENGTH = 4
+
+_SEGMENT_RE = re.compile(r"([LNS])(\d+)")
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One maximal same-class run: a class in {L, N, S} plus its length."""
+
+    char_class: str
+    length: int
+
+    #: Per-instance length cap, excluded from equality/hash so that
+    #: extended-configuration segments compare equal to standard ones.
+    max_length: int = field(default=MAX_SEGMENT_LENGTH, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.char_class not in CHAR_CLASSES:
+            raise ValueError(f"invalid character class {self.char_class!r}")
+        if self.max_length > ABSOLUTE_MAX_SEGMENT_LENGTH:
+            raise ValueError(
+                f"max_length {self.max_length} exceeds the {ABSOLUTE_MAX_SEGMENT_LENGTH} ceiling"
+            )
+        if not 1 <= self.length <= self.max_length:
+            raise ValueError(
+                f"segment length {self.length} outside [1, {self.max_length}]"
+            )
+
+    @property
+    def token(self) -> str:
+        """The pattern-token spelling, e.g. ``"L4"``."""
+        return f"{self.char_class}{self.length}"
+
+    @property
+    def alphabet(self) -> str:
+        """The characters a member of this segment may use."""
+        return CLASS_MEMBERS[self.char_class]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """An ordered sequence of segments, e.g. ``L4N3S1``."""
+
+    segments: tuple[Segment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("pattern must have at least one segment")
+        for prev, cur in zip(self.segments, self.segments[1:]):
+            if prev.char_class == cur.char_class:
+                raise ValueError(
+                    f"adjacent segments share class {cur.char_class!r}; runs must be maximal"
+                )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_password(
+        cls, password: str, max_segment_length: int = MAX_SEGMENT_LENGTH
+    ) -> "Pattern":
+        """Extract the PCFG pattern of a password."""
+        if not password:
+            raise ValueError("cannot extract a pattern from an empty password")
+        segments: list[Segment] = []
+        run_class = char_class(password[0])
+        run_len = 1
+        for ch in password[1:]:
+            cls_ch = char_class(ch)
+            if cls_ch == run_class:
+                run_len += 1
+            else:
+                segments.append(Segment(run_class, run_len, max_segment_length))
+                run_class, run_len = cls_ch, 1
+        segments.append(Segment(run_class, run_len, max_segment_length))
+        return cls(tuple(segments))
+
+    @classmethod
+    def parse(cls, text: str, max_segment_length: int = MAX_SEGMENT_LENGTH) -> "Pattern":
+        """Parse a pattern string such as ``"L4N3S1"``."""
+        pos = 0
+        segments: list[Segment] = []
+        for match in _SEGMENT_RE.finditer(text):
+            if match.start() != pos:
+                raise ValueError(f"invalid pattern string {text!r}")
+            segments.append(Segment(match.group(1), int(match.group(2)), max_segment_length))
+            pos = match.end()
+        if pos != len(text) or not segments:
+            raise ValueError(f"invalid pattern string {text!r}")
+        return cls(tuple(segments))
+
+    # ------------------------------------------------------------------
+    @property
+    def string(self) -> str:
+        """Canonical spelling, e.g. ``"L4N3S1"``."""
+        return "".join(s.token for s in self.segments)
+
+    @property
+    def length(self) -> int:
+        """Total password length the pattern describes."""
+        return sum(s.length for s in self.segments)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    def char_classes(self) -> list[str]:
+        """Per-character class list, e.g. L4N1 -> ['L','L','L','L','N']."""
+        out: list[str] = []
+        for seg in self.segments:
+            out.extend(seg.char_class * seg.length)
+        return out
+
+    def matches(self, password: str) -> bool:
+        """True iff ``password`` conforms to this pattern exactly."""
+        if len(password) != self.length:
+            return False
+        cap = max(seg.max_length for seg in self.segments)
+        try:
+            return Pattern.from_password(password, cap) == self
+        except ValueError:
+            return False
+
+    def search_space(self) -> int:
+        """Number of distinct passwords conforming to this pattern.
+
+        Used by the D&C-GEN optimisation that caps a pattern's guess
+        budget at its search-space size (§III-C3).
+        """
+        total = 1
+        for seg in self.segments:
+            total *= len(seg.alphabet) ** seg.length
+        return total
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self.segments)
+
+    def __str__(self) -> str:
+        return self.string
+
+
+@lru_cache(maxsize=65536)
+def extract_pattern(password: str) -> Pattern:
+    """Cached pattern extraction — the hot path of training preprocessing."""
+    return Pattern.from_password(password)
+
+
+def group_by_segments(patterns: Sequence[Pattern]) -> dict[int, list[Pattern]]:
+    """Group patterns by their segment count (Fig. 8's categories)."""
+    groups: dict[int, list[Pattern]] = {}
+    for p in patterns:
+        groups.setdefault(p.num_segments, []).append(p)
+    return groups

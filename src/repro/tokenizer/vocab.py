@@ -1,0 +1,90 @@
+"""The PagPassGPT vocabulary (§III-B1).
+
+Three token categories:
+
+* 5 special tokens — ``<BOS>``, ``<SEP>``, ``<EOS>``, ``<UNK>``, ``<PAD>``;
+* 36 pattern tokens — ``L1..L12``, ``N1..N12``, ``S1..S12``;
+* 94 visible-ASCII character tokens (space excluded).
+
+That is 135 tokens; the paper says "totaling 136", but its own breakdown
+(94 + 5 + 36) sums to 135 — we implement the breakdown and document the
+off-by-one in DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+from .charset import VISIBLE_ASCII
+from .patterns import MAX_SEGMENT_LENGTH
+
+BOS = "<BOS>"
+SEP = "<SEP>"
+EOS = "<EOS>"
+UNK = "<UNK>"
+PAD = "<PAD>"
+SPECIAL_TOKENS = (BOS, SEP, EOS, UNK, PAD)
+
+PATTERN_TOKENS = tuple(
+    f"{cls}{n}" for cls in ("L", "N", "S") for n in range(1, MAX_SEGMENT_LENGTH + 1)
+)
+
+CHAR_TOKENS = tuple(VISIBLE_ASCII)
+
+
+class Vocabulary:
+    """Bidirectional token <-> id mapping.
+
+    Id layout: specials first (``<BOS>``=0, ``<SEP>``=1, ``<EOS>``=2,
+    ``<UNK>``=3, ``<PAD>``=4), then the pattern tokens (36 in the paper's
+    configuration), then the 94 character tokens.
+
+    ``max_segment_length`` extends the pattern-token range for the longer-
+    password configurations the paper sketches in §V ("adding new
+    characters into the vocabulary of the tokenizer").
+    """
+
+    def __init__(self, max_segment_length: int = MAX_SEGMENT_LENGTH) -> None:
+        if max_segment_length < 1:
+            raise ValueError("max_segment_length must be >= 1")
+        self.max_segment_length = max_segment_length
+        pattern_tokens = tuple(
+            f"{cls}{n}" for cls in ("L", "N", "S") for n in range(1, max_segment_length + 1)
+        )
+        tokens = SPECIAL_TOKENS + pattern_tokens + CHAR_TOKENS
+        self._n_pattern = len(pattern_tokens)
+        self._id_of = {tok: i for i, tok in enumerate(tokens)}
+        self._tok_of = tokens
+        self.bos_id = self._id_of[BOS]
+        self.sep_id = self._id_of[SEP]
+        self.eos_id = self._id_of[EOS]
+        self.unk_id = self._id_of[UNK]
+        self.pad_id = self._id_of[PAD]
+        self.pattern_ids = tuple(self._id_of[t] for t in pattern_tokens)
+        self.char_ids = tuple(self._id_of[t] for t in CHAR_TOKENS)
+
+    def __len__(self) -> int:
+        return len(self._tok_of)
+
+    def id_of(self, token: str) -> int:
+        """Token -> id; unknown tokens map to ``<UNK>``."""
+        return self._id_of.get(token, self.unk_id)
+
+    def token_of(self, token_id: int) -> str:
+        """Id -> token; raises ``IndexError`` for out-of-range ids."""
+        if not 0 <= token_id < len(self._tok_of):
+            raise IndexError(f"token id {token_id} outside vocabulary of size {len(self)}")
+        return self._tok_of[token_id]
+
+    def is_special(self, token_id: int) -> bool:
+        return token_id < len(SPECIAL_TOKENS)
+
+    def is_pattern(self, token_id: int) -> bool:
+        lo = len(SPECIAL_TOKENS)
+        return lo <= token_id < lo + self._n_pattern
+
+    def is_char(self, token_id: int) -> bool:
+        return token_id >= len(SPECIAL_TOKENS) + self._n_pattern
+
+
+#: Shared singleton — the vocabulary is fixed by the paper, so every
+#: component can use the same instance.
+VOCAB = Vocabulary()

@@ -1,0 +1,6 @@
+"""Training infrastructure (dataloader + LM trainer)."""
+
+from .dataloader import BatchLoader
+from .trainer import TrainConfig, TrainHistory, Trainer
+
+__all__ = ["BatchLoader", "TrainConfig", "TrainHistory", "Trainer"]

@@ -1,0 +1,45 @@
+"""Mini-batch iteration over encoded password matrices."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class BatchLoader:
+    """Shuffling mini-batch loader over a ``(n, seq)`` id matrix.
+
+    The final short batch is kept (training on every example matters for
+    the small corpora used in tests).
+    """
+
+    def __init__(
+        self,
+        ids: np.ndarray,
+        batch_size: int,
+        seed: int = 0,
+        shuffle: bool = True,
+    ) -> None:
+        ids = np.asarray(ids)
+        if ids.ndim != 2:
+            raise ValueError(f"ids must be 2-D, got shape {ids.shape}")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.ids = ids
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        return (len(self.ids) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        order = (
+            self._rng.permutation(len(self.ids))
+            if self.shuffle
+            else np.arange(len(self.ids))
+        )
+        for start in range(0, len(order), self.batch_size):
+            yield self.ids[order[start : start + self.batch_size]]

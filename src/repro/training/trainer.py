@@ -1,0 +1,144 @@
+"""Causal-LM training loop used by PagPassGPT and PassGPT.
+
+Implements the paper's §IV-B1 recipe — AdamW, configurable batch size and
+epochs — plus validation, gradient clipping, LR scheduling and early
+stopping, scaled to CPU-sized models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..autograd import no_grad
+from ..nn import GPT2Model, AdamW, WarmupLinear, clip_grad_norm
+from .dataloader import BatchLoader
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of one training run.
+
+    Paper values: ``batch_size=512``, ``epochs=30``, ``lr=5e-5``; the
+    reproduction default is sized for CPU corpora of 10^4 passwords.
+    """
+
+    epochs: int = 8
+    batch_size: int = 64
+    lr: float = 3e-4
+    weight_decay: float = 0.01
+    warmup_fraction: float = 0.05
+    grad_clip: float = 1.0
+    early_stop_patience: int = 0  # 0 disables early stopping
+    seed: int = 0
+    log_every: int = 0  # batches between log callbacks; 0 = per epoch only
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch loss curves plus the best validation point."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    best_epoch: int = -1
+    best_val_loss: float = float("inf")
+    stopped_early: bool = False
+
+
+class Trainer:
+    """Trains a :class:`GPT2Model` on encoded rule/password matrices."""
+
+    def __init__(
+        self,
+        model: GPT2Model,
+        pad_id: int,
+        config: Optional[TrainConfig] = None,
+        log_fn: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.model = model
+        self.pad_id = pad_id
+        self.config = config or TrainConfig()
+        self.log_fn = log_fn
+
+    def _log(self, message: str) -> None:
+        if self.log_fn is not None:
+            self.log_fn(message)
+
+    def evaluate(self, ids: np.ndarray, batch_size: Optional[int] = None) -> float:
+        """Mean validation loss over ``ids`` (no dropout, no gradients)."""
+        if len(ids) == 0:
+            raise ValueError("evaluate received an empty id matrix")
+        self.model.eval()
+        loader = BatchLoader(ids, batch_size or self.config.batch_size, shuffle=False)
+        total, count = 0.0, 0
+        with no_grad():
+            for batch in loader:
+                loss = self.model.loss(batch, pad_token_id=self.pad_id)
+                total += loss.item() * len(batch)
+                count += len(batch)
+        self.model.train()
+        return total / count
+
+    def fit(self, train_ids: np.ndarray, val_ids: Optional[np.ndarray] = None) -> TrainHistory:
+        """Run the full training loop; returns loss history.
+
+        Early stopping (if enabled) restores nothing — it simply stops;
+        callers wanting the best snapshot should checkpoint per epoch via
+        ``log_fn`` or keep ``early_stop_patience=0``.
+        """
+        cfg = self.config
+        params = self.model.parameters()
+        no_decay = [
+            p
+            for name, p in self.model.named_parameters()
+            if name.endswith(".bias") or ".ln" in name or name.endswith("pos_emb.weight")
+        ]
+        optimizer = AdamW(params, lr=cfg.lr, weight_decay=cfg.weight_decay, no_decay=no_decay)
+        loader = BatchLoader(train_ids, cfg.batch_size, seed=cfg.seed, shuffle=True)
+        total_steps = max(1, len(loader) * cfg.epochs)
+        schedule = WarmupLinear(
+            optimizer, cfg.lr, warmup_steps=int(total_steps * cfg.warmup_fraction),
+            total_steps=total_steps,
+        )
+
+        history = TrainHistory()
+        bad_epochs = 0
+        self.model.train()
+        for epoch in range(cfg.epochs):
+            epoch_loss, seen = 0.0, 0
+            for step, batch in enumerate(loader):
+                schedule.step()
+                optimizer.zero_grad()
+                loss = self.model.loss(batch, pad_token_id=self.pad_id)
+                loss.backward()
+                if cfg.grad_clip:
+                    clip_grad_norm(params, cfg.grad_clip)
+                optimizer.step()
+                epoch_loss += loss.item() * len(batch)
+                seen += len(batch)
+                if cfg.log_every and step % cfg.log_every == 0:
+                    self._log(f"epoch {epoch} step {step}/{len(loader)} loss {loss.item():.4f}")
+            history.train_loss.append(epoch_loss / seen)
+
+            if val_ids is not None and len(val_ids):
+                val = self.evaluate(val_ids)
+                history.val_loss.append(val)
+                if val < history.best_val_loss:
+                    history.best_val_loss = val
+                    history.best_epoch = epoch
+                    bad_epochs = 0
+                else:
+                    bad_epochs += 1
+                self._log(
+                    f"epoch {epoch}: train {history.train_loss[-1]:.4f} val {val:.4f}"
+                )
+                if cfg.early_stop_patience and bad_epochs >= cfg.early_stop_patience:
+                    history.stopped_early = True
+                    self._log(f"early stop at epoch {epoch}")
+                    break
+            else:
+                self._log(f"epoch {epoch}: train {history.train_loss[-1]:.4f}")
+        self.model.eval()
+        return history

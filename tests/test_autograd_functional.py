@@ -1,0 +1,154 @@
+"""Tests for the fused functional ops (softmax, layer norm, CE, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    check_gradients,
+    cross_entropy,
+    dropout,
+    gelu,
+    layer_norm,
+    log_softmax,
+    softmax,
+)
+
+
+def t(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape).astype(np.float32), requires_grad=True)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = softmax(t((4, 7))).data
+        assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-6)
+        assert (out >= 0).all()
+
+    def test_gradients(self):
+        check_gradients(lambda x: softmax(x).tanh(), [t((3, 5))])
+
+    def test_invariant_to_shift(self):
+        x = t((2, 5))
+        shifted = Tensor(x.data + 100.0)
+        assert np.allclose(softmax(x).data, softmax(shifted).data, atol=1e-5)
+
+    def test_extreme_logits_stable(self):
+        x = Tensor(np.array([[1000.0, 0.0, -1000.0]], dtype=np.float32))
+        out = softmax(x).data
+        assert np.isfinite(out).all()
+        assert out[0, 0] == pytest.approx(1.0)
+
+    def test_axis_argument(self):
+        x = t((3, 4))
+        assert np.allclose(softmax(x, axis=0).data.sum(axis=0), 1.0, atol=1e-6)
+
+
+class TestLogSoftmax:
+    def test_matches_log_of_softmax(self):
+        x = t((3, 5))
+        assert np.allclose(log_softmax(x).data, np.log(softmax(x).data), atol=1e-5)
+
+    def test_gradients(self):
+        check_gradients(lambda x: log_softmax(x).exp(), [t((3, 5))])
+
+
+class TestGelu:
+    def test_gradients(self):
+        check_gradients(gelu, [t((4, 6))])
+
+    def test_known_values(self):
+        x = Tensor(np.array([0.0, 10.0, -10.0], dtype=np.float32))
+        out = gelu(x).data
+        assert out[0] == pytest.approx(0.0, abs=1e-6)
+        assert out[1] == pytest.approx(10.0, rel=1e-4)
+        assert out[2] == pytest.approx(0.0, abs=1e-3)
+
+
+class TestLayerNorm:
+    def test_output_normalised(self):
+        x = t((4, 8))
+        w = Tensor(np.ones(8, dtype=np.float32), requires_grad=True)
+        b = Tensor(np.zeros(8, dtype=np.float32), requires_grad=True)
+        out = layer_norm(x, w, b).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradients_all_inputs(self):
+        w = Tensor(np.random.default_rng(1).uniform(0.5, 1.5, 6).astype(np.float32), requires_grad=True)
+        b = Tensor(np.random.default_rng(2).normal(size=6).astype(np.float32), requires_grad=True)
+        check_gradients(lambda x, w, b: layer_norm(x, w, b), [t((3, 6)), w, b])
+
+    def test_3d_input(self):
+        x = t((2, 3, 6))
+        w = Tensor(np.ones(6, dtype=np.float32), requires_grad=True)
+        b = Tensor(np.zeros(6, dtype=np.float32), requires_grad=True)
+        check_gradients(lambda x, w, b: layer_norm(x, w, b), [x, w, b])
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = t((4, 5))
+        targets = np.array([0, 1, 2, 3])
+        loss = cross_entropy(logits, targets).item()
+        probs = softmax(logits).data
+        manual = -np.log(probs[np.arange(4), targets]).mean()
+        assert loss == pytest.approx(manual, rel=1e-5)
+
+    def test_gradients(self):
+        targets = np.array([0, 4, 2])
+        check_gradients(lambda x: cross_entropy(x, targets), [t((3, 5))])
+
+    def test_ignore_index_excludes_positions(self):
+        logits = t((4, 5))
+        full = cross_entropy(logits, np.array([0, 1, 2, 3])).item()
+        # Position 3 ignored: loss computed over first three rows only.
+        partial = cross_entropy(logits, np.array([0, 1, 2, -1]), ignore_index=-1).item()
+        expected = cross_entropy(Tensor(logits.data[:3]), np.array([0, 1, 2])).item()
+        assert partial == pytest.approx(expected, rel=1e-5)
+        assert partial != pytest.approx(full)
+
+    def test_ignore_index_gradients(self):
+        targets = np.array([0, 1, -9, 2])
+        check_gradients(lambda x: cross_entropy(x, targets, ignore_index=-9), [t((4, 5))])
+
+    def test_3d_logits(self):
+        targets = np.array([[0, 1], [2, 3]])
+        check_gradients(lambda x: cross_entropy(x, targets), [t((2, 2, 5))])
+
+    def test_all_ignored_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy(t((2, 5)), np.array([-1, -1]), ignore_index=-1)
+
+    def test_uniform_logits_give_log_vocab(self):
+        logits = Tensor(np.zeros((8, 11), dtype=np.float32))
+        loss = cross_entropy(logits, np.zeros(8, dtype=np.int64)).item()
+        assert loss == pytest.approx(np.log(11), rel=1e-5)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = t((100,))
+        out = dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_zero_rate_is_identity(self, rng):
+        x = t((100,))
+        assert dropout(x, 0.0, rng, training=True) is x
+
+    def test_scaling_preserves_expectation(self, rng):
+        x = Tensor(np.ones(20_000, dtype=np.float32), requires_grad=True)
+        out = dropout(x, 0.25, rng, training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+        kept = out.data != 0
+        assert np.allclose(out.data[kept], 1.0 / 0.75)
+
+    def test_gradients_follow_mask(self, rng):
+        x = Tensor(np.ones(1000, dtype=np.float32), requires_grad=True)
+        out = dropout(x, 0.5, rng, training=True)
+        out.sum().backward()
+        assert np.allclose(x.grad, (out.data != 0) * 2.0)
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            dropout(t((3,)), 1.0, rng, training=True)

@@ -1,0 +1,97 @@
+"""Hypothesis property tests for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autograd import Tensor, log_softmax, softmax
+from repro.autograd.tensor import _unbroadcast
+
+finite_f32 = st.floats(-10.0, 10.0, width=32, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_dims=3, max_side=5):
+    return arrays(
+        dtype=np.float32,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=finite_f32,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_arrays())
+def test_softmax_is_distribution(data):
+    out = softmax(Tensor(data)).data
+    assert np.all(out >= 0)
+    assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_arrays())
+def test_log_softmax_normalises(data):
+    out = log_softmax(Tensor(data)).data
+    assert np.allclose(np.exp(out).sum(axis=-1), 1.0, atol=1e-4)
+    assert np.all(out <= 1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_arrays(max_dims=2), small_arrays(max_dims=2))
+def test_addition_commutes(a, b):
+    try:
+        expected = a + b  # numpy broadcasting may fail; that's fine
+    except ValueError:
+        return
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    assert np.allclose(left, expected, atol=1e-5)
+    assert np.allclose(left, right, atol=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_arrays())
+def test_unbroadcast_inverts_broadcast(data):
+    """Summing a broadcast gradient must return the pre-broadcast shape
+    and equal the count of replications for a ones-gradient."""
+    target_shape = data.shape
+    expanded = np.broadcast_to(data, (4,) + target_shape)
+    grad = np.ones_like(expanded)
+    reduced = _unbroadcast(grad, target_shape)
+    assert reduced.shape == target_shape
+    assert np.allclose(reduced, 4.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    arrays(np.float32, (3, 4), elements=finite_f32),
+    arrays(np.float32, (1, 4), elements=finite_f32),
+)
+def test_broadcast_mul_gradient_shape(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta * tb).sum().backward()
+    assert ta.grad.shape == a.shape
+    assert tb.grad.shape == b.shape
+    # d(sum(a*b))/db_j = sum_i a_ij
+    assert np.allclose(tb.grad, a.sum(axis=0, keepdims=True), atol=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.float32, (4, 3), elements=finite_f32))
+def test_linearity_of_backward(data):
+    """grad of (2x).sum() is twice grad of x.sum()."""
+    x1 = Tensor(data.copy(), requires_grad=True)
+    (x1 * 2.0).sum().backward()
+    x2 = Tensor(data.copy(), requires_grad=True)
+    x2.sum().backward()
+    assert np.allclose(x1.grad, 2.0 * x2.grad)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.float32, (3, 5), elements=finite_f32))
+def test_reshape_roundtrip_identity(data):
+    x = Tensor(data, requires_grad=True)
+    y = x.reshape(5, 3).reshape(3, 5)
+    assert np.allclose(y.data, data)
+    y.sum().backward()
+    assert np.allclose(x.grad, 1.0)

@@ -1,0 +1,108 @@
+"""End-to-end CLI tests (in-process via ``repro.cli.main``)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    """Run synth -> clean -> split once; return the file paths."""
+    root = tmp_path_factory.mktemp("cli")
+    leak = root / "leak.txt"
+    cleaned = root / "cleaned.txt"
+    assert main(["synth", "--site", "rockyou", "--entries", "3000",
+                 "--out", str(leak)]) == 0
+    assert main(["clean", "--input", str(leak), "--out", str(cleaned)]) == 0
+    assert main(["split", "--input", str(cleaned), "--prefix", str(root / "data")]) == 0
+    return root
+
+
+class TestDataCommands:
+    def test_synth_writes_entries(self, pipeline):
+        assert len((pipeline / "leak.txt").read_text().splitlines()) == 3000
+
+    def test_clean_deduplicates(self, pipeline):
+        cleaned = (pipeline / "cleaned.txt").read_text().splitlines()
+        assert len(cleaned) == len(set(cleaned))
+        assert all(4 <= len(pw) <= 12 for pw in cleaned)
+
+    def test_split_files_disjoint(self, pipeline):
+        train = set((pipeline / "data.train.txt").read_text().splitlines())
+        test = set((pipeline / "data.test.txt").read_text().splitlines())
+        assert train and test
+        assert not train & test
+
+    def test_patterns_report(self, pipeline, capsys):
+        assert main(["patterns", "--input", str(pipeline / "cleaned.txt"),
+                     "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Pattern" in out and "Segments" in out
+
+
+class TestModelCommands:
+    @pytest.fixture(scope="class")
+    def checkpoint(self, pipeline):
+        ckpt = pipeline / "model.npz"
+        assert main([
+            "train", "--input", str(pipeline / "data.train.txt"),
+            "--val", str(pipeline / "data.val.txt"),
+            "--out", str(ckpt),
+            "--dim", "32", "--layers", "1", "--heads", "2",
+            "--epochs", "1", "--batch-size", "128",
+        ]) == 0
+        return ckpt
+
+    def test_generate_free(self, pipeline, checkpoint):
+        out = pipeline / "free.txt"
+        assert main(["generate", "--checkpoint", str(checkpoint),
+                     "-n", "200", "--out", str(out)]) == 0
+        assert len(out.read_text().splitlines()) == 200
+
+    def test_generate_guided_conforms(self, pipeline, checkpoint):
+        out = pipeline / "guided.txt"
+        assert main(["generate", "--checkpoint", str(checkpoint),
+                     "-n", "50", "--pattern", "L5N2", "--out", str(out)]) == 0
+        from repro.tokenizer import Pattern
+
+        pattern = Pattern.parse("L5N2")
+        guesses = out.read_text().splitlines()
+        assert len(guesses) == 50
+        assert all(pattern.matches(g) for g in guesses)
+
+    def test_generate_dcgen(self, pipeline, checkpoint):
+        out = pipeline / "dc.txt"
+        assert main(["generate", "--checkpoint", str(checkpoint),
+                     "-n", "500", "--dcgen", "--threshold", "32",
+                     "--out", str(out)]) == 0
+        assert len(out.read_text().splitlines()) > 300
+
+    def test_generate_with_sampler_flags(self, pipeline, checkpoint):
+        out = pipeline / "cold.txt"
+        assert main(["generate", "--checkpoint", str(checkpoint),
+                     "-n", "50", "--temperature", "0.5", "--top-k", "10",
+                     "--out", str(out)]) == 0
+        assert len(out.read_text().splitlines()) == 50
+
+    def test_evaluate(self, pipeline, checkpoint, capsys):
+        guesses = pipeline / "free.txt"
+        if not guesses.exists():
+            main(["generate", "--checkpoint", str(checkpoint),
+                  "-n", "200", "--out", str(guesses)])
+        assert main(["evaluate", "--guesses", str(guesses),
+                     "--test", str(pipeline / "data.test.txt"),
+                     "--distances"]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "pattern distance" in out
+
+    def test_dcgen_rejects_passgpt(self, pipeline):
+        ckpt = pipeline / "passgpt.npz"
+        assert main([
+            "train", "--input", str(pipeline / "data.train.txt"),
+            "--model", "passgpt", "--out", str(ckpt),
+            "--dim", "32", "--layers", "1", "--heads", "2",
+            "--epochs", "1",
+        ]) == 0
+        assert main(["generate", "--checkpoint", str(ckpt), "-n", "10",
+                     "--dcgen", "--out", str(pipeline / "x.txt")]) == 2

@@ -1,0 +1,173 @@
+"""Data pipeline tests: synthesis, cleaning, splits, corpora."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    DEFAULT_SIZES,
+    SITES,
+    PasswordCorpus,
+    build_corpus,
+    clean_leak,
+    generate_leak,
+    is_clean,
+    split_dataset,
+)
+from repro.tokenizer import Pattern, extract_pattern
+
+
+class TestSyntheticLeaks:
+    def test_deterministic_for_seed(self):
+        assert generate_leak("rockyou", 500, seed=3) == generate_leak("rockyou", 500, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert generate_leak("rockyou", 500, seed=1) != generate_leak("rockyou", 500, seed=2)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(KeyError):
+            generate_leak("facebook", 10)
+
+    def test_default_sizes_used(self):
+        assert len(generate_leak("myspace", seed=0)) == DEFAULT_SIZES["myspace"]
+
+    def test_all_sites_produce_data(self):
+        for site in SITES:
+            leak = generate_leak(site, 200, seed=0)
+            assert len(leak) == 200
+            assert all(isinstance(pw, str) and pw for pw in leak)
+
+    def test_contains_duplicates_like_real_leaks(self):
+        leak = generate_leak("rockyou", 5000, seed=0)
+        assert len(set(leak)) < len(leak)
+
+    def test_top_patterns_converge_across_sites(self):
+        """The paper's observation: top-10 patterns are consistent across
+        datasets.  Require a strong overlap between any two sites."""
+        tops = {}
+        for site in ("rockyou", "linkedin", "phpbb"):
+            cleaned, _ = clean_leak(generate_leak(site, 8000, seed=1))
+            tops[site] = {p for p, _ in build_corpus(cleaned).top_patterns(10)}
+        assert len(tops["rockyou"] & tops["linkedin"]) >= 6
+        assert len(tops["rockyou"] & tops["phpbb"]) >= 6
+
+
+class TestCleaning:
+    def test_rules(self):
+        assert is_clean("abcd")
+        assert is_clean("a" * 12)
+        assert not is_clean("abc")           # too short
+        assert not is_clean("a" * 13)        # too long
+        assert not is_clean("with space")
+        assert not is_clean("niñas123")
+
+    def test_clean_leak_deduplicates(self):
+        cleaned, report = clean_leak(["abcd", "abcd", "efgh1"])
+        assert cleaned == ["abcd", "efgh1"]
+        assert report.raw_entries == 3
+        assert report.unique == 2
+        assert report.cleaned == 2
+
+    def test_report_retention(self):
+        _, report = clean_leak(["abcd", "ab", "x" * 20, "good123"])
+        assert report.unique == 4
+        assert report.cleaned == 2
+        assert report.retention_rate == pytest.approx(0.5)
+
+    def test_empty_leak(self):
+        cleaned, report = clean_leak([])
+        assert cleaned == []
+        assert report.retention_rate == 0.0
+
+    def test_retention_rates_match_table2_shape(self):
+        """LinkedIn has the lowest retention, the three small sites the
+        highest — the ordering Table II reports."""
+        rates = {}
+        for site in SITES:
+            _, report = clean_leak(generate_leak(site, 6000, seed=2))
+            rates[site] = report.retention_rate
+        assert rates["linkedin"] == min(rates.values())
+        assert rates["rockyou"] < rates["phpbb"]
+        assert rates["rockyou"] < rates["yahoo"]
+
+
+class TestSplits:
+    def test_ratios(self):
+        cleaned, _ = clean_leak(generate_leak("rockyou", 5000, seed=0))
+        splits = split_dataset(cleaned, seed=0)
+        total = len(cleaned)
+        assert len(splits.train) == pytest.approx(0.7 * total, abs=2)
+        assert len(splits.val) == pytest.approx(0.1 * total, abs=2)
+        assert len(splits.train) + len(splits.val) + len(splits.test) == total
+
+    def test_disjoint(self):
+        cleaned, _ = clean_leak(generate_leak("rockyou", 3000, seed=0))
+        splits = split_dataset(cleaned, seed=0)
+        assert not set(splits.train) & set(splits.test)
+        assert not set(splits.val) & set(splits.test)
+
+    def test_deterministic(self):
+        cleaned, _ = clean_leak(generate_leak("rockyou", 2000, seed=0))
+        s1 = split_dataset(cleaned, seed=5)
+        s2 = split_dataset(cleaned, seed=5)
+        assert s1.train == s2.train and s1.test == s2.test
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            split_dataset(["aaaa", "aaaa", "bbbb"])
+
+    def test_rejects_bad_ratios(self):
+        with pytest.raises(ValueError):
+            split_dataset(["aaaa", "bbbb"], ratios=(0.5, 0.2, 0.2))
+
+
+class TestCorpus:
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            PasswordCorpus(["abcd", "abcd"])
+
+    def test_build_corpus_dedups_preserving_order(self):
+        corpus = build_corpus(["bbbb", "aaaa", "bbbb", "cccc"])
+        assert corpus.passwords == ["bbbb", "aaaa", "cccc"]
+
+    def test_pattern_probs_sum_to_one(self):
+        cleaned, _ = clean_leak(generate_leak("rockyou", 2000, seed=0))
+        corpus = build_corpus(cleaned)
+        assert sum(corpus.pattern_probs.values()) == pytest.approx(1.0)
+
+    def test_length_probs_sum_to_one(self):
+        cleaned, _ = clean_leak(generate_leak("rockyou", 2000, seed=0))
+        corpus = build_corpus(cleaned)
+        assert sum(corpus.length_probs.values()) == pytest.approx(1.0)
+
+    def test_conforming(self):
+        corpus = build_corpus(["hello12", "world13", "nope", "a1b2c3"])
+        assert set(corpus.conforming(Pattern.parse("L5N2"))) == {"hello12", "world13"}
+
+    def test_conforming_by_category(self):
+        corpus = build_corpus(["hello12", "nope", "a1b2"])
+        assert corpus.conforming_by_category(2) == ["hello12"]
+        assert corpus.conforming_by_category(1) == ["nope"]
+        assert corpus.conforming_by_category(4) == ["a1b2"]
+
+    def test_top_patterns_sorted(self):
+        corpus = build_corpus(["aaaa1", "bbbb2", "cccc3", "123456"])
+        top = corpus.top_patterns(2)
+        assert top[0][0] == "L4N1"
+        assert top[0][1] == pytest.approx(0.75)
+
+    def test_membership(self):
+        corpus = build_corpus(["abcd"])
+        assert "abcd" in corpus
+        assert "efgh" not in corpus
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.text(alphabet=st.sampled_from("abcdef123!"), min_size=1, max_size=15), max_size=50))
+def test_cleaning_invariants(raw):
+    cleaned, report = clean_leak(raw)
+    assert len(cleaned) == report.cleaned <= report.unique <= report.raw_entries
+    assert len(set(cleaned)) == len(cleaned)
+    assert all(is_clean(pw) for pw in cleaned)
+    assert all(4 <= len(pw) <= 12 for pw in cleaned)

@@ -1,0 +1,67 @@
+"""White-box tests of the synthetic leak generator's templates."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SITES, LeakGenerator
+from repro.tokenizer import extract_pattern, is_visible_ascii
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return LeakGenerator(SITES["rockyou"], seed=5)
+
+
+class TestTemplates:
+    def test_word_digits_shape(self, gen):
+        for _ in range(20):
+            pw = gen._word_digits()
+            assert pw[-1].isdigit()
+            assert pw[0].isalpha()
+
+    def test_digits_only_is_digits(self, gen):
+        for _ in range(20):
+            pw = gen._digits_only()
+            assert pw.isdigit()
+            assert 4 <= len(pw) <= 10
+
+    def test_leet_word_changes_classes(self, gen):
+        leeted = [gen._leet_word() for _ in range(50)]
+        # At least some must contain a substitution character.
+        assert any(any(c in "@310$7" for c in pw) for pw in leeted)
+
+    def test_word_special_digits_structure(self, gen):
+        pw = gen._word_special_digits()
+        pattern = extract_pattern(pw)
+        assert pattern.num_segments >= 3
+
+    def test_pollution_produces_uncleanable(self, gen):
+        from repro.datasets import is_clean
+
+        polluted = [gen._polluted() for _ in range(100)]
+        assert sum(not is_clean(p) for p in polluted) > 80
+
+    def test_generate_is_mostly_cleanable(self, gen):
+        from repro.datasets import is_clean
+
+        leak = gen.generate(500)
+        clean_fraction = sum(is_clean(pw) for pw in leak) / len(leak)
+        assert clean_fraction > 0.8
+
+
+class TestSiteProfiles:
+    def test_profiles_have_normalisable_weights(self):
+        for profile in SITES.values():
+            total = sum(profile.template_weights.values())
+            assert total > 0
+            assert 0 <= profile.pollution < 0.5
+
+    def test_sites_differ_in_output(self):
+        a = LeakGenerator(SITES["rockyou"], seed=1).generate(300)
+        b = LeakGenerator(SITES["linkedin"], seed=1).generate(300)
+        assert a != b
+
+    def test_same_profile_same_seed_reproduces(self):
+        a = LeakGenerator(SITES["phpbb"], seed=2).generate(200)
+        b = LeakGenerator(SITES["phpbb"], seed=2).generate(200)
+        assert a == b

@@ -1,0 +1,38 @@
+"""Sanity checks on the embedded lexical material."""
+
+from repro.datasets import wordlists as wl
+from repro.tokenizer import is_visible_ascii
+
+
+class TestWordlists:
+    def test_no_duplicates_within_lists(self):
+        for lst in (wl.COMMON_WORDS, wl.FIRST_NAMES, wl.KEYBOARD_WALKS,
+                    wl.DIGIT_SUFFIXES, wl.SPECIAL_FAVOURITES):
+            assert len(lst) == len(set(lst))
+
+    def test_all_entries_visible_ascii_lowercase(self):
+        for word in wl.COMMON_WORDS + wl.FIRST_NAMES + wl.KEYBOARD_WALKS:
+            assert is_visible_ascii(word)
+            assert word == word.lower()
+
+    def test_sizes_support_zipf_head(self):
+        assert len(wl.COMMON_WORDS) >= 300
+        assert len(wl.FIRST_NAMES) >= 150
+        assert len(wl.DIGIT_SUFFIXES) >= 60
+
+    def test_digit_suffixes_are_digits(self):
+        assert all(s.isdigit() for s in wl.DIGIT_SUFFIXES)
+
+    def test_leet_map_is_class_changing(self):
+        """Every leet substitution changes the character class — that's
+        what makes leet words produce multi-segment patterns."""
+        from repro.tokenizer import char_class
+
+        for src, dst in wl.LEET_MAP.items():
+            assert char_class(src) == "L"
+            assert char_class(dst) in ("N", "S")
+
+    def test_specials_are_specials(self):
+        from repro.tokenizer import char_class
+
+        assert all(char_class(s) == "S" for s in wl.SPECIAL_FAVOURITES)

@@ -1,0 +1,112 @@
+"""End-to-end experiment-driver tests at tiny scale.
+
+These exercise the same code paths as the benchmark suite, on corpora and
+models small enough for CI.  They assert *mechanics* (structure, ranges,
+protocol invariants), not paper-shape quality — that is the benches' job.
+"""
+
+import pytest
+
+from repro.evaluation import (
+    ModelLab,
+    cross_site_test,
+    distance_growth,
+    distance_test,
+    pattern_guided_test,
+    table2_dataset_characteristics,
+    table3_guided_samples,
+    trawling_test,
+)
+from repro.tokenizer import Pattern
+
+
+@pytest.fixture(scope="module")
+def lab(tmp_path_factory):
+    return ModelLab(scale="tiny", cache_dir=tmp_path_factory.mktemp("exp-cache"), seed=0)
+
+
+class TestTable2:
+    def test_rows(self, lab):
+        rows = table2_dataset_characteristics(lab)
+        assert [r["name"] for r in rows] == ["rockyou", "linkedin", "phpbb", "myspace", "yahoo"]
+        for row in rows:
+            assert 0 < row["cleaned"] <= row["unique"]
+            assert 0.5 < row["retention"] <= 1.0
+        retention = {r["name"]: r["retention"] for r in rows}
+        assert retention["linkedin"] == min(retention.values())
+
+
+class TestGuidedTest:
+    def test_structure(self, lab):
+        result = pattern_guided_test(lab, top_per_category=2, guesses_per_pattern=200)
+        assert result.category_hr
+        for n_seg, by_model in result.category_hr.items():
+            assert set(by_model) == {"PassGPT", "PagPassGPT"}
+            assert all(0.0 <= v <= 1.0 for v in by_model.values())
+            assert len(result.targets[n_seg]) <= 2
+        for per_pattern in result.pattern_hr.values():
+            for pattern_str, by_model in per_pattern.items():
+                Pattern.parse(pattern_str)  # must be valid
+                assert all(0.0 <= v <= 1.0 for v in by_model.values())
+
+    def test_targets_come_from_test_corpus(self, lab):
+        result = pattern_guided_test(lab, top_per_category=2, guesses_per_pattern=50)
+        groups = lab.site_data("rockyou").test_corpus.patterns_by_segments()
+        for n_seg, targets in result.targets.items():
+            available = {p for p, _ in groups[n_seg]}
+            assert set(targets) <= available
+
+
+class TestTable3:
+    def test_samples_and_integrity(self, lab):
+        out = table3_guided_samples(lab, n_show=5, n_score=100)
+        assert set(out["samples"]) == {"PassGPT", "PagPassGPT"}
+        for by_pattern in out["samples"].values():
+            for pattern_str, samples in by_pattern.items():
+                assert len(samples) == 5
+                pattern = Pattern.parse(pattern_str)
+                assert all(pattern.matches(pw) for pw in samples)
+        assert all(0.0 <= v <= 1.0 for v in out["word_integrity"].values())
+
+
+class TestTrawling:
+    def test_structure(self, lab):
+        result = trawling_test(
+            lab, budgets=(200, 500), model_names=("PCFG", "PagPassGPT", "PagPassGPT-D&C")
+        )
+        assert result.budgets == [200, 500]
+        for name in ("PCFG", "PagPassGPT", "PagPassGPT-D&C"):
+            assert len(result.hit_rates[name]) == 2
+            assert all(0 <= h <= 1 for h in result.hit_rates[name])
+            assert all(0 <= r < 1 for r in result.repeat_rates[name])
+            # Hit rate on a prefix can never exceed the full stream's.
+            assert result.hit_rates[name][0] <= result.hit_rates[name][1] + 1e-9
+
+
+class TestDistances:
+    def test_table5_structure(self, lab):
+        out = distance_test(lab, budget=500, model_names=("PCFG", "Markov"))
+        assert set(out) == {"PCFG", "Markov"}
+        for d in out.values():
+            assert 0 <= d["length_distance"] <= 3
+            assert 0 <= d["pattern_distance"] <= 3
+
+    def test_fig11_structure(self, lab):
+        out = distance_growth(lab, budgets=(200, 500))
+        assert out["budgets"] == [200, 500]
+        assert len(out["length_distance"]) == 2
+        assert len(out["pattern_distance"]) == 2
+
+
+class TestCrossSite:
+    def test_structure(self, lab):
+        out = cross_site_test(
+            lab,
+            train_sites=("rockyou",),
+            eval_sites=("myspace",),
+            budget=500,
+            model_names=("PagPassGPT", "PagPassGPT-D&C"),
+        )
+        assert set(out) == {"rockyou"}
+        assert set(out["rockyou"]) == {"PagPassGPT", "PagPassGPT-D&C"}
+        assert 0 <= out["rockyou"]["PagPassGPT"]["myspace"] <= 1

@@ -1,0 +1,74 @@
+"""ModelLab tests: data memoisation, model caching, scales."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import SCALES, LabScale, ModelLab
+
+
+class TestScales:
+    def test_registry(self):
+        assert set(SCALES) == {"tiny", "small", "full"}
+        for scale in SCALES.values():
+            assert set(scale.site_entries) == {"rockyou", "linkedin", "phpbb", "myspace", "yahoo"}
+            assert scale.guess_budgets == tuple(sorted(scale.guess_budgets))
+
+
+@pytest.fixture(scope="module")
+def lab(tmp_path_factory):
+    return ModelLab(scale="tiny", cache_dir=tmp_path_factory.mktemp("lab-cache"), seed=0)
+
+
+class TestSiteData:
+    def test_memoised(self, lab):
+        assert lab.site_data("rockyou") is lab.site_data("rockyou")
+
+    def test_splits_disjoint(self, lab):
+        data = lab.site_data("phpbb")
+        assert not set(data.splits.train) & set(data.splits.test)
+        assert data.test_set == frozenset(data.splits.test)
+
+    def test_eval_corpus_covers_whole_site(self, lab):
+        data = lab.site_data("myspace")
+        corpus = lab.eval_corpus("myspace")
+        assert len(corpus) == len(data.splits.train) + len(data.splits.val) + len(data.splits.test)
+
+
+class TestModelCaching:
+    def test_gpt_checkpoint_roundtrip(self, lab, tmp_path_factory):
+        model = lab.pagpassgpt("rockyou")
+        assert model.is_fitted
+        # A second lab with the same cache dir must load, not retrain.
+        lab2 = ModelLab(scale="tiny", cache_dir=lab.cache_dir, seed=0)
+        loaded = lab2.pagpassgpt("rockyou")
+        assert loaded.is_fitted
+        assert loaded.pattern_probs == model.pattern_probs
+        a = dict(model.model.named_parameters())
+        b = dict(loaded.model.named_parameters())
+        for name in a:
+            assert np.allclose(a[name].data, b[name].data)
+
+    def test_in_process_memoisation(self, lab):
+        assert lab.pagpassgpt("rockyou") is lab.pagpassgpt("rockyou")
+        assert lab.baseline("pcfg") is lab.baseline("pcfg")
+
+    def test_dc_wrapper_shares_base(self, lab):
+        dc = lab.pagpassgpt_dc("rockyou")
+        assert dc.base is lab.pagpassgpt("rockyou")
+        assert dc.dc_config.threshold == lab.scale.dc_threshold
+
+    def test_unknown_baseline_rejected(self, lab):
+        with pytest.raises(KeyError):
+            lab.baseline("hashcat")
+
+    def test_different_scale_different_cache_key(self, lab):
+        other = ModelLab(
+            scale=LabScale(name="other", site_entries={"rockyou": 999,
+                "linkedin": 1, "phpbb": 1, "myspace": 1, "yahoo": 1}),
+            cache_dir=lab.cache_dir,
+        )
+        assert other._cache_path("pagpassgpt", "rockyou") != lab._cache_path("pagpassgpt", "rockyou")
+
+    def test_no_cache_dir_means_no_path(self):
+        lab = ModelLab(scale="tiny")
+        assert lab._cache_path("pagpassgpt", "rockyou") is None

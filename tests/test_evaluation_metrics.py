@@ -1,0 +1,126 @@
+"""Metric tests with hand-computed values (eqs. 4-7)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_corpus
+from repro.evaluation import (
+    category_hit_rate,
+    hit_rate,
+    hits,
+    length_distance,
+    pattern_distance,
+    pattern_hit_rate,
+    repeat_rate,
+    word_integrity,
+)
+from repro.tokenizer import Pattern
+
+
+class TestHitRate:
+    def test_basic(self):
+        assert hit_rate(["a", "b", "c"], ["b", "c", "d", "e"]) == pytest.approx(0.5)
+
+    def test_duplicates_ignored(self):
+        assert hit_rate(["b", "b", "b"], ["b", "d"]) == pytest.approx(0.5)
+
+    def test_empty_test_set_rejected(self):
+        with pytest.raises(ValueError):
+            hit_rate(["a"], [])
+
+    def test_hits_count(self):
+        assert hits(["a", "b", "b"], ["b", "c"]) == 1
+
+
+class TestRepeatRate:
+    def test_no_repeats(self):
+        assert repeat_rate(["a", "b", "c"]) == 0.0
+
+    def test_all_repeats(self):
+        assert repeat_rate(["a", "a", "a", "a"]) == pytest.approx(0.75)
+
+    def test_paper_definition(self):
+        # 10 guesses, 7 unique -> 30% repeats.
+        guesses = list("abcdefg") + ["a", "b", "c"]
+        assert repeat_rate(guesses) == pytest.approx(0.3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            repeat_rate([])
+
+
+class TestCategoryAndPatternHitRate:
+    def test_category(self):
+        test_corpus = build_corpus(["hello12", "world99", "abc", "a1b2"])
+        generated = ["hello12", "nohit88"]
+        # Category 2 segments: hello12, world99 -> 1 of 2 hit.
+        assert category_hit_rate(generated, test_corpus, 2) == pytest.approx(0.5)
+        assert category_hit_rate(generated, test_corpus, 1) == 0.0
+        assert category_hit_rate(generated, test_corpus, 7) == 0.0  # empty category
+
+    def test_pattern(self):
+        test_corpus = build_corpus(["hello12", "world99", "foo1"])
+        generated = ["hello12", "world99", "zzz"]
+        assert pattern_hit_rate(generated, test_corpus, Pattern.parse("L5N2")) == 1.0
+        assert pattern_hit_rate(generated, test_corpus, Pattern.parse("L3N1")) == 0.0
+
+
+class TestWordIntegrity:
+    def test_intact_words_score_one(self):
+        assert word_integrity(["mountain12", "dragon!99"]) == pytest.approx(1.0)
+
+    def test_truncations_score_zero(self):
+        assert word_integrity(["mounta12", "drago!99"]) == pytest.approx(0.0)
+
+    def test_mixed(self):
+        score = word_integrity(["mountain1", "mounta12"])
+        assert score == pytest.approx(0.5)
+
+    def test_unrelated_segments_ignored(self):
+        assert word_integrity(["zzqqxx12"]) == pytest.approx(1.0)
+
+
+class TestDistances:
+    def test_length_distance_identical_distributions(self):
+        corpus = build_corpus(["abcd1", "efgh2", "ijklm9"])
+        generated = ["abcd1", "efgh2", "ijklm9"]
+        assert length_distance(generated, corpus) == pytest.approx(0.0, abs=1e-9)
+
+    def test_length_distance_hand_computed(self):
+        corpus = build_corpus(["aaaa", "bbbb"])  # all length 4
+        generated = ["ccccc", "ddddd"]  # all length 5
+        # diff at len4 = 1, at len5 = -1 -> sqrt(2)
+        assert length_distance(generated, corpus) == pytest.approx(np.sqrt(2.0))
+
+    def test_length_distance_out_of_range_generated(self):
+        corpus = build_corpus(["aaaa"])
+        # Length-2 guesses contribute nothing inside the 4..12 window.
+        assert length_distance(["xy"], corpus) == pytest.approx(1.0)
+
+    def test_pattern_distance_identical(self):
+        corpus = build_corpus(["abcd1", "efgh2"])
+        assert pattern_distance(["wxyz3", "qrst9"], corpus) == pytest.approx(0.0, abs=1e-9)
+
+    def test_pattern_distance_hand_computed(self):
+        corpus = build_corpus(["abcd1"])  # 100% L4N1
+        generated = ["12345"]  # 100% N5
+        # top pattern list = [L4N1 with p=1]; generated has 0 there -> distance 1.
+        assert pattern_distance(generated, corpus) == pytest.approx(1.0)
+
+    def test_pattern_distance_top_k_restriction(self):
+        corpus = build_corpus(["abcd1", "efgh2", "wxyz!"])
+        # Only the top-1 pattern is compared.
+        d = pattern_distance(["zzzz9"], corpus, top_k=1)
+        assert d == pytest.approx(abs(2 / 3 - 1.0))
+
+    def test_empty_generated_rejected(self):
+        corpus = build_corpus(["abcd1"])
+        with pytest.raises(ValueError):
+            length_distance([], corpus)
+        with pytest.raises(ValueError):
+            pattern_distance([], corpus)
+
+    def test_unpatternable_guesses_skipped(self):
+        corpus = build_corpus(["abcd1"])
+        # Empty strings can't have a pattern; must not crash.
+        assert pattern_distance(["", "abcd1"], corpus) >= 0.0

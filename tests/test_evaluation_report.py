@@ -1,0 +1,63 @@
+"""Report-rendering tests."""
+
+from repro.evaluation import percent, render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["Model", "Hit"], [["PassGPT", 0.4193], ["PagPassGPT", 0.4875]], title="Table IV"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table IV"
+        assert "Model" in lines[1] and "Hit" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert "PassGPT" in lines[3]
+        assert "0.4875" in lines[4]
+
+    def test_column_widths_consistent(self):
+        text = render_table(["a", "bbbb"], [["xxxxxx", 1], ["y", 22]])
+        lines = text.splitlines()
+        pipe_positions = [line.index("|") for line in lines if "|" in line]
+        assert len(set(pipe_positions)) == 1
+
+
+class TestRenderSeries:
+    def test_format(self):
+        out = render_series("PagPassGPT", [(1000, 0.01), (10000, 0.0644)])
+        assert out.startswith("PagPassGPT:")
+        assert "1000:0.0100" in out
+        assert "10000:0.0644" in out
+
+
+class TestPercent:
+    def test_formats_like_paper(self):
+        assert percent(0.5363) == "53.63%"
+        assert percent(0.0928) == "9.28%"
+
+
+class TestRenderBarChart:
+    def test_bars_scale_to_global_max(self):
+        from repro.evaluation import render_bar_chart
+
+        out = render_bar_chart(
+            {"A": [(1, 0.5)], "B": [(1, 1.0)]}, width=10, value_format="{:.1f}"
+        )
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title_and_values(self):
+        from repro.evaluation import render_bar_chart
+
+        out = render_bar_chart({"X": [(7, 0.25)]}, title="Fig")
+        assert out.startswith("Fig")
+        assert "25.00%" in out
+
+    def test_empty_rejected(self):
+        import pytest
+
+        from repro.evaluation import render_bar_chart
+
+        with pytest.raises(ValueError):
+            render_bar_chart({})

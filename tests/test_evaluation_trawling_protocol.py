@@ -1,0 +1,80 @@
+"""Protocol tests for trawling_test using stub models (no training).
+
+Verifies the §IV-D evaluation mechanics in isolation: prefix evaluation
+for sampling models vs fresh per-budget runs for budget-sensitive models
+(D&C-GEN takes N as an algorithm input).
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.evaluation import ModelLab, trawling_test
+from repro.evaluation.experiments import _model_by_name
+from repro.models.base import PasswordGuesser
+
+
+class StreamStub(PasswordGuesser):
+    """Sampling-style stub: emits a fixed stream, records call budgets."""
+
+    name = "Stub"
+    budget_sensitive = False
+
+    def __init__(self, stream):
+        self.stream = stream
+        self.calls: list[int] = []
+
+    def fit(self, corpus, **kwargs):
+        return self
+
+    def generate(self, n, seed=0):
+        self.calls.append(n)
+        return self.stream[:n]
+
+
+class BudgetStub(StreamStub):
+    """Budget-sensitive stub: output depends on the requested n."""
+
+    name = "BudgetStub"
+    budget_sensitive = True
+
+    def generate(self, n, seed=0):
+        self.calls.append(n)
+        return [f"pw{n}_{i}" for i in range(n)]
+
+
+@pytest.fixture()
+def lab(tmp_path):
+    lab = ModelLab(scale="tiny", seed=0)
+    return lab
+
+
+def test_sampling_models_generate_once(lab, monkeypatch):
+    data = lab.site_data("rockyou")
+    stream = list(data.test_corpus.passwords) * 3
+    stub = StreamStub(stream)
+    monkeypatch.setattr(
+        "repro.evaluation.experiments._model_by_name", lambda *a: stub
+    )
+    result = trawling_test(lab, budgets=(10, 50), model_names=("Stub",))
+    assert stub.calls == [50]  # one generation at the top budget
+    # Prefix hit rates are monotone.
+    assert result.hit_rates["Stub"][0] <= result.hit_rates["Stub"][1]
+
+
+def test_budget_sensitive_models_rerun_per_budget(lab, monkeypatch):
+    stub = BudgetStub([])
+    monkeypatch.setattr(
+        "repro.evaluation.experiments._model_by_name", lambda *a: stub
+    )
+    result = trawling_test(lab, budgets=(10, 50), model_names=("BudgetStub",))
+    assert stub.calls == [10, 50]  # a fresh run per budget
+    assert result.repeat_rates["BudgetStub"] == [0.0, 0.0]
+
+
+def test_model_by_name_resolution(lab):
+    assert _model_by_name(lab, "PCFG", "rockyou").name == "PCFG"
+    assert _model_by_name(lab, "Markov", "rockyou").name == "Markov"
+    assert _model_by_name(lab, "RuleBased", "rockyou").name == "RuleBased"
+    with pytest.raises(KeyError):
+        _model_by_name(lab, "nonsense", "rockyou")

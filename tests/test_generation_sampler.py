@@ -1,0 +1,134 @@
+"""Sampler tests: temperature, truncation, constrained/masked sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.generation import (
+    SamplerConfig,
+    constrained_distribution,
+    logits_to_probs,
+    sample,
+    sample_constrained,
+)
+from repro.generation.sampler import sample_masked
+
+
+class TestSamplerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplerConfig(temperature=0)
+        with pytest.raises(ValueError):
+            SamplerConfig(top_k=-1)
+        with pytest.raises(ValueError):
+            SamplerConfig(top_p=0.0)
+        with pytest.raises(ValueError):
+            SamplerConfig(top_p=1.5)
+
+
+class TestLogitsToProbs:
+    def test_rows_are_distributions(self, rng):
+        logits = rng.normal(size=(4, 9)).astype(np.float32)
+        probs = logits_to_probs(logits)
+        assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-6)
+        assert (probs >= 0).all()
+
+    def test_low_temperature_sharpens(self, rng):
+        logits = rng.normal(size=(1, 9)).astype(np.float32)
+        hot = logits_to_probs(logits, SamplerConfig(temperature=2.0))
+        cold = logits_to_probs(logits, SamplerConfig(temperature=0.2))
+        assert cold.max() > hot.max()
+        assert hot.argmax() == cold.argmax()
+
+    def test_top_k_zeroes_tail(self, rng):
+        logits = rng.normal(size=(3, 10)).astype(np.float32)
+        probs = logits_to_probs(logits, SamplerConfig(top_k=3))
+        assert ((probs > 0).sum(axis=-1) <= 3).all()
+        assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_top_p_keeps_minimum_one(self):
+        logits = np.array([[10.0, 0.0, -10.0]], dtype=np.float32)
+        probs = logits_to_probs(logits, SamplerConfig(top_p=0.01))
+        assert (probs > 0).sum() == 1
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_top_p_mass_threshold(self):
+        logits = np.log(np.array([[0.5, 0.3, 0.15, 0.05]], dtype=np.float32))
+        probs = logits_to_probs(logits, SamplerConfig(top_p=0.8))
+        # 0.5 + 0.3 reaches 0.8 -> keep exactly the first two.
+        assert (probs > 0).sum() == 2
+
+
+class TestSampling:
+    def test_deterministic_given_rng_seed(self, rng):
+        logits = np.random.default_rng(1).normal(size=(5, 8)).astype(np.float32)
+        a = sample(logits, np.random.default_rng(42))
+        b = sample(logits, np.random.default_rng(42))
+        assert (a == b).all()
+
+    def test_respects_distribution(self):
+        # One token has ~all the mass.
+        logits = np.zeros((200, 4), dtype=np.float32)
+        logits[:, 2] = 20.0
+        out = sample(logits, np.random.default_rng(0))
+        assert (out == 2).all()
+
+    def test_empirical_frequencies(self):
+        logits = np.log(np.tile(np.array([0.7, 0.2, 0.1], dtype=np.float32), (8000, 1)))
+        out = sample(logits, np.random.default_rng(0))
+        freq = np.bincount(out, minlength=3) / len(out)
+        assert freq[0] == pytest.approx(0.7, abs=0.03)
+        assert freq[2] == pytest.approx(0.1, abs=0.02)
+
+
+class TestConstrained:
+    def test_only_allowed_ids_returned(self, rng):
+        logits = rng.normal(size=(100, 20)).astype(np.float32)
+        allowed = np.array([3, 7, 11])
+        out = sample_constrained(logits, allowed, np.random.default_rng(0))
+        assert set(out.tolist()) <= {3, 7, 11}
+
+    def test_distribution_renormalised(self, rng):
+        logits = rng.normal(size=(4, 10)).astype(np.float32)
+        allowed = np.array([0, 5])
+        dist = constrained_distribution(logits, allowed)
+        assert dist.shape == (4, 2)
+        assert np.allclose(dist.sum(axis=-1), 1.0, atol=1e-6)
+        # Relative odds preserved: p0/p5 == softmax ratio of raw logits.
+        raw = np.exp(logits[:, 0] - logits[:, 5])
+        assert np.allclose(dist[:, 0] / dist[:, 1], raw, rtol=1e-4)
+
+
+class TestMasked:
+    def test_per_row_masks(self, rng):
+        logits = rng.normal(size=(3, 6)).astype(np.float32)
+        mask = np.zeros((3, 6), dtype=bool)
+        mask[0, [0, 1]] = True
+        mask[1, [4]] = True
+        mask[2, [2, 3, 5]] = True
+        out = sample_masked(logits, mask, np.random.default_rng(0))
+        assert out[0] in (0, 1)
+        assert out[1] == 4
+        assert out[2] in (2, 3, 5)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_masked(rng.normal(size=(2, 4)), np.ones((2, 5), dtype=bool), rng)
+
+    def test_empty_row_raises(self, rng):
+        logits = rng.normal(size=(2, 4)).astype(np.float32)
+        mask = np.ones((2, 4), dtype=bool)
+        mask[1] = False
+        with pytest.raises(ValueError):
+            sample_masked(logits, mask, rng)
+
+
+@settings(max_examples=60, deadline=None)
+@given(arrays(np.float32, (3, 8), elements=st.floats(-20, 20, width=32)))
+def test_probs_always_valid(logits):
+    for cfg in (SamplerConfig(), SamplerConfig(top_k=4), SamplerConfig(top_p=0.7), SamplerConfig(temperature=0.3)):
+        probs = logits_to_probs(logits, cfg)
+        assert np.isfinite(probs).all()
+        assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-4)

@@ -1,0 +1,122 @@
+"""PassGAN / VAEPass / PassFlow tests (mechanics + family traits)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_corpus
+from repro.models import PassFlow, PassGAN, VAEPass
+from repro.models.seq_encoding import (
+    ALPHABET,
+    PAD_INDEX,
+    SEQ_LEN,
+    VOCAB_SIZE,
+    decode_indices,
+    encode_indices,
+    encode_onehot,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(0)
+    words = ["hello", "world", "passwd", "monkey", "dragon", "summer"]
+    pws = list({w + str(rng.integers(10, 99)) for w in words for _ in range(12)})
+    return build_corpus(pws + ["123456", "qwerty", "abcdef"])
+
+
+class TestSeqEncoding:
+    def test_roundtrip(self):
+        pws = ["abc", "Pass123$", "x" * 12, ""]
+        assert decode_indices(encode_indices(pws)) == pws
+
+    def test_padding(self):
+        idx = encode_indices(["ab"])
+        assert (idx[0, 2:] == PAD_INDEX).all()
+
+    def test_onehot_shape_and_content(self):
+        oh = encode_onehot(["ab"])
+        assert oh.shape == (1, SEQ_LEN * VOCAB_SIZE)
+        grid = oh.reshape(SEQ_LEN, VOCAB_SIZE)
+        assert grid.sum() == SEQ_LEN  # exactly one hot per position
+        assert grid[0, ALPHABET.index("a")] == 1.0
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            encode_indices(["x" * 13])
+
+    def test_bad_char_rejected(self):
+        with pytest.raises(ValueError):
+            encode_indices(["ñ"])
+
+
+class TestPassGAN:
+    def test_fit_and_generate(self, corpus):
+        model = PassGAN(epochs=2, batch_size=32, seed=0).fit(corpus)
+        out = model.generate(50, seed=0)
+        assert len(out) == 50
+        assert all(len(pw) <= 12 for pw in out)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            PassGAN().generate(5)
+
+    def test_critic_weights_clipped(self, corpus):
+        model = PassGAN(epochs=1, batch_size=32, clip=0.01, seed=0).fit(corpus)
+        for p in model.critic.parameters():
+            assert np.abs(p.data).max() <= 0.01 + 1e-6
+
+    def test_deterministic_per_seed(self, corpus):
+        model = PassGAN(epochs=1, batch_size=32, seed=0).fit(corpus)
+        assert model.generate(20, seed=3) == model.generate(20, seed=3)
+
+    def test_independent_sampling_trait(self, corpus):
+        """Same latent seed -> same passwords; the GAN has no memory of
+        what it already emitted (the paper's repeat-rate critique)."""
+        model = PassGAN(epochs=1, batch_size=32, seed=0).fit(corpus)
+        a = model.generate(30, seed=1)
+        b = model.generate(30, seed=1)
+        assert a == b
+
+
+class TestVAEPass:
+    def test_fit_loss_decreases(self, corpus):
+        model = VAEPass(epochs=4, batch_size=32, seed=0).fit(corpus)
+        assert model.losses[-1] < model.losses[0]
+
+    def test_generate(self, corpus):
+        model = VAEPass(epochs=2, batch_size=32, seed=0).fit(corpus)
+        out = model.generate(40, seed=0)
+        assert len(out) == 40
+        assert all(len(pw) <= 12 for pw in out)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            VAEPass().generate(5)
+
+
+class TestPassFlow:
+    def test_fit_nll_decreases(self, corpus):
+        model = PassFlow(epochs=4, batch_size=32, seed=0).fit(corpus)
+        assert model.losses[-1] < model.losses[0]
+
+    def test_generate(self, corpus):
+        model = PassFlow(epochs=2, batch_size=32, seed=0).fit(corpus)
+        out = model.generate(40, seed=0)
+        assert len(out) == 40
+
+    def test_flow_invertibility(self, corpus):
+        """forward(inverse(z)) == z up to float tolerance — the defining
+        property of a normalizing flow."""
+        model = PassFlow(epochs=1, batch_size=32, seed=0).fit(corpus)
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=(8, SEQ_LEN)).astype(np.float32)
+        x = model._invert(z)
+        from repro.autograd import Tensor, no_grad
+
+        with no_grad():
+            z_back = model._forward_z(Tensor(x)).data
+        assert np.allclose(z_back, z, atol=1e-3)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            PassFlow().generate(5)

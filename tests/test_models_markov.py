@@ -1,0 +1,81 @@
+"""Markov / OMEN model tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_corpus
+from repro.models import MarkovModel
+from repro.tokenizer.charset import VISIBLE_ASCII
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    corpus = build_corpus(
+        ["hello1", "hello2", "help99", "world1", "worlds", "password", "pass123"]
+    )
+    return MarkovModel(order=2, smoothing=0.01).fit(corpus)
+
+
+class TestFit:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovModel(order=0)
+        with pytest.raises(ValueError):
+            MarkovModel(smoothing=0)
+
+    def test_distributions_normalised(self, fitted):
+        for dist in fitted._probs.values():
+            assert dist.sum() == pytest.approx(1.0)
+
+    def test_log_prob_finite_and_ordered(self, fitted):
+        seen = fitted.log_prob("hello1")
+        unseen = fitted.log_prob("zzzzzz")
+        assert np.isfinite(seen) and np.isfinite(unseen)
+        assert seen > unseen
+
+    def test_log_prob_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            MarkovModel().log_prob("abc")
+
+
+class TestGeneration:
+    def test_charset_and_length(self, fitted):
+        out = fitted.generate(200, seed=0)
+        assert len(out) == 200
+        for pw in out:
+            assert len(pw) <= 12
+            assert all(c in VISIBLE_ASCII for c in pw)
+
+    def test_deterministic_per_seed(self, fitted):
+        assert fitted.generate(50, seed=1) == fitted.generate(50, seed=1)
+        assert fitted.generate(50, seed=1) != fitted.generate(50, seed=2)
+
+    def test_samples_reflect_training(self, fitted):
+        out = fitted.generate(500, seed=0)
+        with_hel = sum(1 for pw in out if "hel" in pw or "wor" in pw or "pas" in pw)
+        assert with_hel > 100  # learned trigram structure dominates
+
+
+class TestOrderedEnumeration:
+    def test_no_duplicates_in_prefix(self, fitted):
+        out = fitted.generate_ordered(300)
+        assert len(out) == len(set(out))
+
+    def test_levels_ascend(self, fitted):
+        """OMEN property: total level of emitted passwords is
+        non-decreasing along the enumeration."""
+        levels = []
+        width = 0.7
+        for pw in fitted.generate_ordered(200):
+            padded = " " * fitted.order + pw + "\x00"
+            total = 0
+            for i in range(fitted.order, len(padded)):
+                dist = fitted._dist(padded[i - fitted.order : i])
+                p = dist[fitted._char_index[padded[i]]]
+                total += int(round(-np.log(p) / width))
+            levels.append(total)
+        assert levels == sorted(levels)
+
+    def test_head_contains_training_like_passwords(self, fitted):
+        head = set(fitted.generate_ordered(100))
+        assert any("hell" in pw or "worl" in pw or "pass" in pw for pw in head)

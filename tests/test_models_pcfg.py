@@ -1,0 +1,100 @@
+"""PCFG model tests: probability tables and ordered enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_corpus
+from repro.models import PCFGModel
+from repro.tokenizer import Pattern, extract_pattern
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    corpus = build_corpus(
+        ["abc12", "abc34", "xyz12", "abc99", "hello1", "hello2", "12345", "54321", "ab!12"]
+    )
+    return PCFGModel().fit(corpus)
+
+
+class TestFit:
+    def test_pattern_probs_sum_to_one(self, fitted):
+        assert sum(fitted.pattern_probs.values()) == pytest.approx(1.0)
+
+    def test_segment_tables_descending(self, fitted):
+        for table in fitted.segment_tables.values():
+            probs = [p for _, p in table]
+            assert probs == sorted(probs, reverse=True)
+            assert sum(probs) == pytest.approx(1.0)
+
+    def test_expected_counts(self, fitted):
+        # "abc" appears 3 times among 4 L3 segments.
+        table = dict(fitted.segment_tables["L3"])
+        assert table["abc"] == pytest.approx(3 / 4)
+
+
+class TestEnumeration:
+    def test_descending_probability_order(self, fitted):
+        guesses = list(fitted.iter_guesses())
+        probs = [p for _, p in guesses]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_no_duplicates(self, fitted):
+        passwords = [pw for pw, _ in fitted.iter_guesses()]
+        assert len(passwords) == len(set(passwords))
+
+    def test_first_guess_is_most_probable(self, fitted):
+        first, prob = next(fitted.iter_guesses())
+        # P(L3N2)=4/9; P(abc|L3)=3/4; P(12|N2)=3/5 (the ab!12 "12" counts too).
+        assert first == "abc12"
+        assert prob == pytest.approx(4 / 9 * 3 / 4 * 3 / 5)
+
+    def test_joint_probability_factorisation(self, fitted):
+        """Every yielded probability equals eq. 2's product."""
+        for pw, prob in list(fitted.iter_guesses())[:20]:
+            pattern = extract_pattern(pw)
+            expected = fitted.pattern_probs[pattern.string]
+            cursor = 0
+            for seg in pattern:
+                table = dict(fitted.segment_tables[seg.token])
+                expected *= table[pw[cursor : cursor + seg.length]]
+                cursor += seg.length
+            assert prob == pytest.approx(expected, rel=1e-9)
+
+    def test_generate_returns_n(self, fitted):
+        assert len(fitted.generate(5)) == 5
+
+    def test_generate_exhausts_gracefully(self, fitted):
+        # Finite grammar: asking for more than exists returns what exists.
+        all_guesses = fitted.generate(10_000)
+        assert len(all_guesses) < 10_000
+        assert len(set(all_guesses)) == len(all_guesses)
+
+    def test_closed_vocabulary_weakness(self, fitted):
+        """The paper's §II-C critique: PCFG can only emit seen segments."""
+        seen_l3 = {s for s, _ in fitted.segment_tables["L3"]}
+        for pw in fitted.generate(1000):
+            pattern = extract_pattern(pw)
+            cursor = 0
+            for seg in pattern:
+                if seg.token == "L3":
+                    assert pw[cursor : cursor + 3] in seen_l3
+                cursor += seg.length
+
+
+class TestPatternGuided:
+    def test_conformity(self, fitted):
+        out = fitted.generate_with_pattern(Pattern.parse("L3N2"), 10)
+        assert out
+        assert all(Pattern.parse("L3N2").matches(pw) for pw in out)
+
+    def test_descending_within_pattern(self, fitted):
+        out = fitted.generate_with_pattern(Pattern.parse("L3N2"), 100)
+        assert out[0] == "abc12"
+        assert len(set(out)) == len(out)
+
+    def test_unseen_pattern_yields_nothing(self, fitted):
+        assert fitted.generate_with_pattern(Pattern.parse("S5"), 10) == []
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            PCFGModel().generate(5)

@@ -1,0 +1,78 @@
+"""Rule-based (Hashcat-family) model tests."""
+
+import pytest
+
+from repro.datasets import build_corpus
+from repro.models import RuleBasedModel
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    corpus = build_corpus(
+        ["password1", "password123", "monkey!", "monkey12", "dragon99",
+         "Dragon!", "love", "loveyou2", "xy12", "summer2010"]
+    )
+    return RuleBasedModel(max_words=100).fit(corpus)
+
+
+class TestFit:
+    def test_wordlist_by_frequency(self, fitted):
+        # "password" x2, "monkey" x2, "dragon" x2, "love" appears in
+        # love/loveyou -> "password" must be first or tied-first.
+        assert fitted.wordlist[0] in ("password", "monkey", "dragon")
+        assert "password" in fitted.wordlist
+        assert "summer" in fitted.wordlist
+
+    def test_short_runs_excluded(self, fitted):
+        assert "xy" not in fitted.wordlist
+
+    def test_lowercased(self, fitted):
+        assert all(w == w.lower() for w in fitted.wordlist)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuleBasedModel(max_words=0)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            RuleBasedModel().generate(3)
+
+
+class TestGeneration:
+    def test_deterministic_and_duplicate_free(self, fitted):
+        a = fitted.generate(300)
+        b = fitted.generate(300)
+        assert a == b
+        assert len(set(a)) == len(a)
+
+    def test_head_contains_bare_words(self, fitted):
+        head = fitted.generate(20)
+        assert "password" in head
+        assert "monkey" in head or "dragon" in head
+
+    def test_manglings_appear(self, fitted):
+        guesses = set(fitted.generate(2_000))
+        assert "Password" in guesses        # capitalize
+        assert "PASSWORD" in guesses        # upper
+        assert "p@$$w0rd" in guesses        # leet
+        assert "password1" in guesses       # append
+        assert "drowssap" in guesses        # reverse
+
+    def test_length_bounds_respected(self, fitted):
+        assert all(4 <= len(g) <= 12 for g in fitted.generate(3_000))
+
+    def test_exhaustion_is_graceful(self, fitted):
+        everything = fitted.generate(10**6)
+        assert len(everything) <= fitted.max_guesses
+        assert len(set(everything)) == len(everything)
+
+    def test_closed_world_weakness(self, fitted):
+        """The §II-B1 critique: every guess derives from a seen word via
+        one of the known transforms + appends."""
+        from repro.models.rulebased import TRANSFORMS, _APPENDS
+
+        expansions = {
+            t(w) + a for w in fitted.wordlist for t in TRANSFORMS for a in _APPENDS
+        }
+        for guess in fitted.generate(500):
+            assert guess in expansions, guess

@@ -1,0 +1,79 @@
+"""Causality and masking tests for multi-head self-attention."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import CausalSelfAttention, causal_mask
+
+
+def make_attn(dim=16, heads=4, seed=0):
+    return CausalSelfAttention(dim, heads, np.random.default_rng(seed))
+
+
+class TestCausalMask:
+    def test_upper_triangular(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert not mask[2, 2] and not mask[2, 0]
+        assert mask[0, 1] and mask[2, 3]
+
+
+class TestCausality:
+    def test_future_tokens_do_not_affect_past_outputs(self):
+        attn = make_attn()
+        attn.eval()
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 6, 16)).astype(np.float32)
+        out1 = attn(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 5] += 10.0  # perturb the last position only
+        out2 = attn(Tensor(x2)).data
+        assert np.allclose(out1[0, :5], out2[0, :5], atol=1e-5)
+        assert not np.allclose(out1[0, 5], out2[0, 5], atol=1e-3)
+
+    def test_prefix_invariance(self):
+        """Output at position i computed from a length-i prefix equals the
+        output at i within the longer sequence."""
+        attn = make_attn()
+        attn.eval()
+        x = np.random.default_rng(2).normal(size=(1, 8, 16)).astype(np.float32)
+        full = attn(Tensor(x)).data
+        prefix = attn(Tensor(x[:, :4])).data
+        assert np.allclose(full[0, :4], prefix[0], atol=1e-5)
+
+
+class TestPadMask:
+    def test_padded_keys_are_ignored(self):
+        attn = make_attn()
+        attn.eval()
+        x = np.random.default_rng(3).normal(size=(1, 6, 16)).astype(np.float32)
+        pad = np.zeros((1, 6), dtype=bool)
+        pad[0, 2] = True  # position 2 is padding
+        out_masked = attn(Tensor(x), pad_mask=pad).data
+        x_alt = x.copy()
+        x_alt[0, 2] = 123.0  # huge change at the padded position
+        out_alt = attn(Tensor(x_alt), pad_mask=pad).data
+        # Positions after 2 must not see the padded key's change.
+        assert np.allclose(out_masked[0, 3:], out_alt[0, 3:], atol=1e-4)
+
+
+class TestShapes:
+    def test_dim_head_divisibility(self):
+        with pytest.raises(ValueError):
+            CausalSelfAttention(10, 3, np.random.default_rng(0))
+
+    def test_output_shape(self):
+        attn = make_attn()
+        attn.eval()
+        out = attn(Tensor(np.zeros((3, 5, 16), dtype=np.float32)))
+        assert out.shape == (3, 5, 16)
+
+    def test_gradients_flow(self):
+        attn = make_attn()
+        attn.eval()
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4, 16)).astype(np.float32), requires_grad=True)
+        attn(x).sum().backward()
+        assert x.grad is not None
+        assert attn.qkv.weight.grad is not None
+        assert attn.proj.weight.grad is not None

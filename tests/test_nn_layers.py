@@ -1,0 +1,84 @@
+"""Tests for Linear/Embedding/LayerNorm/Dropout/Sequential."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Dropout, Embedding, LayerNorm, Linear, Sequential
+
+
+class TestLinear:
+    def test_matches_manual_affine(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(3, 4, rng)
+        x = rng.normal(size=(5, 3)).astype(np.float32)
+        out = layer(Tensor(x))
+        assert np.allclose(out.data, x @ layer.weight.data + layer.bias.data, atol=1e-6)
+
+    def test_no_bias(self):
+        layer = Linear(3, 4, np.random.default_rng(0), bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_3d_input(self):
+        layer = Linear(3, 4, np.random.default_rng(0))
+        out = layer(Tensor(np.ones((2, 5, 3), dtype=np.float32)))
+        assert out.shape == (2, 5, 4)
+
+    def test_gradients_flow_to_weight_and_bias(self):
+        layer = Linear(3, 2, np.random.default_rng(0))
+        layer(Tensor(np.ones((4, 3), dtype=np.float32))).sum().backward()
+        assert layer.weight.grad is not None
+        assert np.allclose(layer.bias.grad, [4.0, 4.0])
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, np.random.default_rng(0))
+        ids = np.array([[1, 2], [3, 1]])
+        out = emb(ids)
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out.data[0, 0], emb.weight.data[1])
+        assert np.allclose(out.data[1, 1], emb.weight.data[1])
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(10, 4, np.random.default_rng(0))
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_accumulates_per_row(self):
+        emb = Embedding(5, 3, np.random.default_rng(0))
+        emb(np.array([2, 2, 4])).sum().backward()
+        assert np.allclose(emb.weight.grad[2], 2.0)
+        assert np.allclose(emb.weight.grad[4], 1.0)
+        assert np.allclose(emb.weight.grad[0], 0.0)
+
+
+class TestLayerNormLayer:
+    def test_normalises_and_has_params(self):
+        ln = LayerNorm(8)
+        out = ln(Tensor(np.random.default_rng(0).normal(2.0, 3.0, (4, 8)).astype(np.float32)))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-5)
+        assert len(ln.parameters()) == 2
+
+
+class TestDropoutLayer:
+    def test_respects_training_flag(self):
+        drop = Dropout(0.5, np.random.default_rng(0))
+        x = Tensor(np.ones(1000, dtype=np.float32))
+        drop.eval()
+        assert np.allclose(drop(x).data, 1.0)
+        drop.train()
+        out = drop(x).data
+        assert (out == 0).sum() > 200  # roughly half dropped
+
+
+class TestSequential:
+    def test_runs_in_order(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(Linear(3, 4, rng), Tensor.relu, Linear(4, 2, rng))
+        out = seq(Tensor(np.ones((5, 3), dtype=np.float32)))
+        assert out.shape == (5, 2)
+        assert len(seq.parameters()) == 4

@@ -1,0 +1,115 @@
+"""Tests for the Module/Parameter abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, MLP, Module, Parameter
+
+
+class Net(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.fc1 = Linear(3, 4, rng)
+        self.fc2 = Linear(4, 2, rng)
+        self.blocks = [Linear(2, 2, rng), Linear(2, 2, rng)]
+        self.scale = Parameter(np.ones(2, dtype=np.float32))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x)) * self.scale
+
+
+class TestDiscovery:
+    def test_named_parameters_include_nested_and_lists(self):
+        names = {name for name, _ in Net().named_parameters()}
+        assert "fc1.weight" in names
+        assert "fc1.bias" in names
+        assert "blocks.0.weight" in names
+        assert "blocks.1.bias" in names
+        assert "scale" in names
+
+    def test_parameter_count(self):
+        net = Net()
+        # fc1: 3*4+4, fc2: 4*2+2, blocks: 2*(2*2+2), scale: 2
+        assert net.num_parameters() == 16 + 10 + 12 + 2
+
+    def test_modules_iterates_descendants(self):
+        mods = list(Net().modules())
+        assert len(mods) == 5  # Net + 4 Linears
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        net = Net()
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self):
+        net = Net()
+        from repro.autograd import Tensor
+
+        out = net(Tensor(np.ones((2, 3), dtype=np.float32)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net1, net2 = Net(), Net()
+        for p in net1.parameters():
+            p.data += 1.0
+        net2.load_state_dict(net1.state_dict())
+        for (n1, p1), (n2, p2) in zip(net1.named_parameters(), net2.named_parameters()):
+            assert n1 == n2
+            assert np.allclose(p1.data, p2.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = Net()
+        state = net.state_dict()
+        state["scale"][...] = 99.0
+        assert not np.allclose(net.scale.data, 99.0)
+
+    def test_missing_key_raises(self):
+        net = Net()
+        state = net.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        net = Net()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = Net()
+        state = net.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestMLP:
+    def test_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4], np.random.default_rng(0))
+
+    def test_forward_shape(self):
+        from repro.autograd import Tensor
+
+        mlp = MLP([3, 8, 2], np.random.default_rng(0))
+        out = mlp(Tensor(np.ones((5, 3), dtype=np.float32)))
+        assert out.shape == (5, 2)
+
+    def test_final_activation_applied(self):
+        from repro.autograd import Tensor
+
+        mlp = MLP([3, 4, 2], np.random.default_rng(0), final_activation=Tensor.sigmoid)
+        out = mlp(Tensor(np.ones((5, 3), dtype=np.float32)))
+        assert (out.data > 0).all() and (out.data < 1).all()

@@ -1,0 +1,125 @@
+"""Optimiser and LR-schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, AdamW, SGD, WarmupCosine, WarmupLinear, clip_grad_norm
+from repro.nn.module import Parameter
+
+
+def quadratic_param(value=5.0):
+    return Parameter(np.array([value], dtype=np.float32))
+
+
+def minimise(optimizer, param, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        param.grad = 2.0 * param.data  # d/dx x^2
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_minimises_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimise(SGD([p], lr=0.1), p)) < 1e-3
+
+    def test_momentum_accelerates(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        plain = abs(minimise(SGD([p1], lr=0.01), p1, steps=50))
+        momentum = abs(minimise(SGD([p2], lr=0.01, momentum=0.9), p2, steps=50))
+        assert momentum < plain
+
+    def test_exact_step(self):
+        p = quadratic_param(1.0)
+        opt = SGD([p], lr=0.5)
+        p.grad = np.array([2.0], dtype=np.float32)
+        opt.step()
+        assert p.data[0] == pytest.approx(0.0)
+
+    def test_none_grad_skipped(self):
+        p = quadratic_param(1.0)
+        SGD([p], lr=0.5).step()
+        assert p.data[0] == pytest.approx(1.0)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimise(Adam([p], lr=0.1), p)) < 1e-2
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction the first Adam update is ~lr in magnitude.
+        p = quadratic_param(1.0)
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([3.0], dtype=np.float32)
+        opt.step()
+        assert p.data[0] == pytest.approx(0.9, abs=1e-4)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+
+class TestAdamW:
+    def test_weight_decay_shrinks_params(self):
+        p = quadratic_param(1.0)
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0], dtype=np.float32)
+        opt.step()
+        # Zero gradient: only decay applies -> 1 - 0.1*0.5
+        assert p.data[0] == pytest.approx(0.95, abs=1e-5)
+
+    def test_no_decay_list_respected(self):
+        p = quadratic_param(1.0)
+        opt = AdamW([p], lr=0.1, weight_decay=0.5, no_decay=[p])
+        p.grad = np.array([0.0], dtype=np.float32)
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.full(4, 3.0, dtype=np.float32)  # norm 6
+        pre = clip_grad_norm([p], 1.5)
+        assert pre == pytest.approx(6.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.5, rel=1e-5)
+
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.full(4, 0.1, dtype=np.float32)
+        clip_grad_norm([p], 10.0)
+        assert np.allclose(p.grad, 0.1)
+
+
+class TestSchedules:
+    def test_warmup_linear_shape(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.0)
+        sched = WarmupLinear(opt, base_lr=1.0, warmup_steps=10, total_steps=100)
+        lrs = [sched.step() for _ in range(100)]
+        assert lrs[0] == pytest.approx(0.1)
+        assert max(lrs) == pytest.approx(1.0)
+        assert lrs[-1] < 0.05
+        assert lrs.index(max(lrs)) == 9
+
+    def test_warmup_cosine_endpoints(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.0)
+        sched = WarmupCosine(opt, base_lr=1.0, warmup_steps=0, total_steps=50, min_lr=0.1)
+        lrs = [sched.step() for _ in range(50)]
+        assert lrs[0] == pytest.approx(1.0, abs=1e-2)
+        assert lrs[-1] == pytest.approx(0.1, abs=1e-2)
+        assert all(a >= b - 1e-9 for a, b in zip(lrs, lrs[1:]))  # monotone decay
+
+    def test_applies_lr_to_optimizer(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.0)
+        sched = WarmupLinear(opt, base_lr=2.0, warmup_steps=0, total_steps=10)
+        sched.step()
+        assert opt.lr == pytest.approx(2.0)
+
+    def test_invalid_total_steps(self):
+        with pytest.raises(ValueError):
+            WarmupLinear(SGD([quadratic_param()], lr=0.1), 1.0, 0, 0)

@@ -1,0 +1,65 @@
+"""Checkpoint save/load tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GPT2Config, GPT2Model, load_checkpoint, save_checkpoint
+
+
+def small_model(seed=0):
+    return GPT2Model(
+        GPT2Config(vocab_size=15, block_size=8, dim=16, n_layers=1, n_heads=2, dropout=0.0),
+        seed=seed,
+    )
+
+
+class TestCheckpoint:
+    def test_roundtrip_restores_weights(self, tmp_path):
+        m1 = small_model(seed=1)
+        m2 = small_model(seed=2)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(m1, path)
+        load_checkpoint(m2, path)
+        for (_, p1), (_, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            assert np.allclose(p1.data, p2.data)
+
+    def test_metadata_roundtrip(self, tmp_path):
+        m = small_model()
+        meta = {"epochs": 5, "pattern_probs": {"L6N2": 0.5}, "site": "rockyou"}
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(m, path, meta=meta)
+        loaded = load_checkpoint(small_model(), path)
+        assert loaded == meta
+
+    def test_empty_metadata_default(self, tmp_path):
+        m = small_model()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(m, path)
+        assert load_checkpoint(small_model(), path) == {}
+
+    def test_outputs_identical_after_load(self, tmp_path):
+        m1, m2 = small_model(seed=1), small_model(seed=2)
+        m1.eval()
+        m2.eval()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(m1, path)
+        load_checkpoint(m2, path)
+        ids = np.random.default_rng(0).integers(0, 15, (2, 6))
+        from repro.autograd import no_grad
+
+        with no_grad():
+            assert np.allclose(m1.forward(ids).data, m2.forward(ids).data, atol=1e-6)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "ckpt.npz"
+        save_checkpoint(small_model(), path)
+        assert path.exists()
+
+    def test_incompatible_model_raises(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(small_model(), path)
+        other = GPT2Model(
+            GPT2Config(vocab_size=15, block_size=8, dim=16, n_layers=2, n_heads=2, dropout=0.0)
+        )
+        with pytest.raises(KeyError):
+            load_checkpoint(other, path)

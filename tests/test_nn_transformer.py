@@ -1,0 +1,96 @@
+"""GPT-2 model tests: config validation, loss semantics, trainability."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.nn import AdamW, GPT2Config, GPT2Model
+
+
+def tiny_config(**overrides):
+    base = dict(vocab_size=20, block_size=12, dim=16, n_layers=2, n_heads=4, dropout=0.0)
+    base.update(overrides)
+    return GPT2Config(**base)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPT2Config(vocab_size=10, dim=10, n_heads=3)
+        with pytest.raises(ValueError):
+            GPT2Config(vocab_size=0)
+
+    def test_paper_config(self):
+        cfg = GPT2Config.paper(vocab_size=135)
+        assert (cfg.block_size, cfg.dim, cfg.n_layers, cfg.n_heads) == (32, 256, 12, 8)
+
+
+class TestForward:
+    def test_logits_shape(self):
+        model = GPT2Model(tiny_config())
+        model.eval()
+        out = model.forward(np.zeros((3, 7), dtype=np.int64))
+        assert out.shape == (3, 7, 20)
+
+    def test_rejects_long_sequences(self):
+        model = GPT2Model(tiny_config())
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((1, 13), dtype=np.int64))
+
+    def test_rejects_non_2d(self):
+        model = GPT2Model(tiny_config())
+        with pytest.raises(ValueError):
+            model.forward(np.zeros(5, dtype=np.int64))
+
+    def test_tied_head_uses_token_embedding(self):
+        model = GPT2Model(tiny_config(tie_lm_head=True))
+        assert model.lm_head is None
+        untied = GPT2Model(tiny_config(tie_lm_head=False))
+        assert untied.lm_head is not None
+        assert untied.num_parameters() > model.num_parameters()
+
+    def test_causality_of_full_model(self):
+        model = GPT2Model(tiny_config())
+        model.eval()
+        ids = np.random.default_rng(0).integers(0, 20, (1, 8))
+        with no_grad():
+            base = model.forward(ids).data.copy()
+            ids2 = ids.copy()
+            ids2[0, 7] = (ids2[0, 7] + 1) % 20
+            alt = model.forward(ids2).data
+        assert np.allclose(base[0, :7], alt[0, :7], atol=1e-4)
+
+
+class TestLoss:
+    def test_initial_loss_near_uniform(self):
+        model = GPT2Model(tiny_config())
+        model.eval()
+        ids = np.random.default_rng(0).integers(0, 19, (8, 10))
+        loss = model.loss(ids, pad_token_id=19)
+        assert abs(loss.item() - np.log(20)) < 0.3
+
+    def test_pad_targets_excluded(self):
+        model = GPT2Model(tiny_config())
+        model.eval()
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, 19, (4, 10))
+        padded = ids.copy()
+        padded[:, 6:] = 19  # pad tail
+        # Changing content under the pad positions must not change the loss.
+        padded2 = padded.copy()
+        padded2[:, 8] = 19
+        l1 = model.loss(padded, pad_token_id=19).item()
+        l2 = model.loss(padded2, pad_token_id=19).item()
+        assert l1 == pytest.approx(l2, rel=1e-6)
+
+    def test_overfits_fixed_batch(self):
+        model = GPT2Model(tiny_config(), seed=1)
+        ids = np.random.default_rng(1).integers(0, 19, (8, 10))
+        opt = AdamW(model.parameters(), lr=5e-3)
+        first = model.loss(ids, pad_token_id=19).item()
+        for _ in range(40):
+            opt.zero_grad()
+            loss = model.loss(ids, pad_token_id=19)
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.4

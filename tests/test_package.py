@@ -1,0 +1,44 @@
+"""Public API surface tests."""
+
+import py_compile
+from pathlib import Path
+
+import repro
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_model_zoo_complete(self):
+        names = {
+            repro.PagPassGPT.name,
+            repro.PassGPT.name,
+            repro.PassGAN.name,
+            repro.VAEPass.name,
+            repro.PassFlow.name,
+            repro.PCFGModel.name,
+            repro.MarkovModel.name,
+            repro.PagPassGPTDC.name,
+        }
+        assert names == {
+            "PagPassGPT", "PassGPT", "PassGAN", "VAEPass", "PassFlow",
+            "PCFG", "Markov", "PagPassGPT-D&C",
+        }
+
+
+class TestExamples:
+    def test_all_examples_compile(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 4
+        for script in scripts:
+            py_compile.compile(str(script), doraise=True)
+
+    def test_quickstart_exists(self):
+        assert (EXAMPLES / "quickstart.py").exists()

@@ -1,0 +1,50 @@
+"""Character-class tests."""
+
+import pytest
+
+from repro.tokenizer import (
+    DIGITS,
+    LETTERS,
+    SPECIALS,
+    VISIBLE_ASCII,
+    char_class,
+    is_visible_ascii,
+)
+
+
+class TestCharsets:
+    def test_sizes_match_paper(self):
+        assert len(LETTERS) == 52
+        assert len(DIGITS) == 10
+        assert len(SPECIALS) == 32
+        assert len(VISIBLE_ASCII) == 94
+
+    def test_partition_is_disjoint_and_complete(self):
+        assert set(LETTERS) | set(DIGITS) | set(SPECIALS) == set(VISIBLE_ASCII)
+        assert not set(LETTERS) & set(DIGITS)
+        assert not set(LETTERS) & set(SPECIALS)
+        assert not set(DIGITS) & set(SPECIALS)
+
+    def test_space_excluded(self):
+        assert " " not in VISIBLE_ASCII
+
+
+class TestCharClass:
+    @pytest.mark.parametrize("ch,cls", [("a", "L"), ("Z", "L"), ("7", "N"), ("!", "S"), ("~", "S")])
+    def test_classification(self, ch, cls):
+        assert char_class(ch) == cls
+
+    @pytest.mark.parametrize("bad", [" ", "\n", "ñ", "€", "\x00"])
+    def test_invalid_characters(self, bad):
+        with pytest.raises(ValueError):
+            char_class(bad)
+
+
+class TestIsVisibleAscii:
+    def test_accepts_valid(self):
+        assert is_visible_ascii("Pass123$!")
+
+    @pytest.mark.parametrize("bad", ["has space", "ñino", "tab\there", ""])
+    def test_rejects_invalid(self, bad):
+        # Empty string is vacuously visible-ASCII.
+        assert is_visible_ascii(bad) == (bad == "")

@@ -1,0 +1,96 @@
+"""Extended (longer-password) configuration tests (paper §V)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_corpus
+from repro.models import PagPassGPT
+from repro.tokenizer import (
+    Pattern,
+    Vocabulary,
+    build_extended_tokenizer,
+    extended_gpt2_config,
+)
+from repro.training import TrainConfig
+
+
+class TestExtendedVocabulary:
+    def test_sizes_scale_with_segment_length(self):
+        assert len(Vocabulary(max_segment_length=12)) == 135
+        assert len(Vocabulary(max_segment_length=20)) == 5 + 60 + 94
+
+    def test_extended_pattern_tokens_resolve(self):
+        vocab = Vocabulary(max_segment_length=16)
+        assert vocab.id_of("L16") != vocab.unk_id
+        assert vocab.id_of("L17") == vocab.unk_id
+        assert vocab.is_pattern(vocab.id_of("N15"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Vocabulary(max_segment_length=0)
+
+
+class TestExtendedTokenizer:
+    def test_roundtrip_long_password(self):
+        tok = build_extended_tokenizer(24)
+        password = "correcthorsebattery99!"
+        ids = tok.encode_rule(password)
+        assert len(ids) == tok.block_size
+        assert tok.decode_password(ids) == password
+
+    def test_long_run_pattern_token_used(self):
+        tok = build_extended_tokenizer(20)
+        ids = tok.encode_rule("abcdefghijklmnop", pad=False)
+        tokens = tok.decode_tokens(ids)
+        assert tokens[1] == "L16"
+
+    def test_standard_tokenizer_rejects_long(self):
+        from repro.tokenizer import PasswordTokenizer
+
+        with pytest.raises(ValueError):
+            PasswordTokenizer().encode_rule("abcdefghijklmnop")
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            build_extended_tokenizer(3)
+        with pytest.raises(ValueError):
+            build_extended_tokenizer(64)
+
+    def test_vocab_tokenizer_consistency_enforced(self):
+        from repro.tokenizer import PasswordTokenizer
+
+        with pytest.raises(ValueError):
+            PasswordTokenizer(
+                vocab=Vocabulary(max_segment_length=12),
+                block_size=64,
+                max_password_length=20,
+            )
+
+
+class TestExtendedModel:
+    def test_train_and_generate_long_passwords(self):
+        """The §V extension end to end: a PagPassGPT over 16-char
+        passwords trains and generates conforming long passwords."""
+        tok = build_extended_tokenizer(16)
+        config = extended_gpt2_config(tok, dim=32, n_layers=1, n_heads=2, dropout=0.0)
+        model = PagPassGPT(
+            model_config=config,
+            train_config=TrainConfig(epochs=1, batch_size=32),
+            tokenizer=tok,
+            seed=0,
+        )
+        rng = np.random.default_rng(0)
+        words = ["correcthorse", "longpassword", "verybigsecret", "extralongword"]
+        corpus = build_corpus(
+            [w + str(rng.integers(10, 9999)) for w in words for _ in range(10)],
+            max_segment_length=16,
+        )
+        model.fit(corpus)
+        pattern = Pattern.parse("L12N4", max_segment_length=16)
+        out = model.generate_with_pattern(pattern, 8, seed=0)
+        assert len(out) == 8
+        assert all(len(pw) == 16 for pw in out)
+        assert all(pattern.matches(pw) for pw in out)
+
+        free = model.generate(16, seed=1)
+        assert all(len(pw) <= 16 for pw in free)

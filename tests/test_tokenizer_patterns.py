@@ -1,0 +1,133 @@
+"""Pattern extraction and parsing tests (PCFG, §II-C)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tokenizer import (
+    DIGITS,
+    LETTERS,
+    SPECIALS,
+    Pattern,
+    Segment,
+    extract_pattern,
+    group_by_segments,
+)
+
+
+class TestExtraction:
+    @pytest.mark.parametrize(
+        "password,expected",
+        [
+            ("Pass123$", "L4N3S1"),
+            ("abc123!", "L3N3S1"),
+            ("password123", "L8N3"),
+            ("123456", "N6"),
+            ("!!!", "S3"),
+            ("a1b2", "L1N1L1N1"),
+            ("A", "L1"),
+            ("p@ssw0rd", "L1S1L3N1L2"),
+        ],
+    )
+    def test_known_patterns(self, password, expected):
+        assert extract_pattern(password).string == expected
+
+    def test_empty_password_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern.from_password("")
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern.from_password("abcñ")
+
+    def test_space_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern.from_password("ab cd")
+
+
+class TestParse:
+    def test_roundtrip(self):
+        for text in ("L4N3S1", "N6", "L1N1L1N1", "S2L10"):
+            assert Pattern.parse(text).string == text
+
+    @pytest.mark.parametrize("bad", ["", "L0", "X4", "L13", "4L", "L4N0", "L4x", "l4"])
+    def test_invalid_strings(self, bad):
+        with pytest.raises(ValueError):
+            Pattern.parse(bad)
+
+    def test_adjacent_same_class_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern.parse("L4L3")
+
+
+class TestProperties:
+    def test_length_and_segments(self):
+        p = Pattern.parse("L4N3S1")
+        assert p.length == 8
+        assert p.num_segments == 3
+        assert p.char_classes() == list("LLLLNNNS")
+
+    def test_matches(self):
+        p = Pattern.parse("L5N2")
+        assert p.matches("hello12")
+        assert not p.matches("hello1")      # wrong length
+        assert not p.matches("hell012")     # wrong classes
+        assert not p.matches("hello!2")
+
+    def test_search_space(self):
+        assert Pattern.parse("N3").search_space() == 1000
+        assert Pattern.parse("L1N1").search_space() == 520
+        assert Pattern.parse("S1").search_space() == 32
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            Segment("L", 0)
+        with pytest.raises(ValueError):
+            Segment("L", 13)
+        with pytest.raises(ValueError):
+            Segment("Q", 1)
+
+    def test_group_by_segments(self):
+        groups = group_by_segments([Pattern.parse(s) for s in ("L4", "N6", "L4N2", "L1N1L1")])
+        assert {p.string for p in groups[1]} == {"L4", "N6"}
+        assert {p.string for p in groups[2]} == {"L4N2"}
+        assert {p.string for p in groups[3]} == {"L1N1L1"}
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+password_chars = st.sampled_from(LETTERS + DIGITS + SPECIALS)
+passwords = st.text(alphabet=password_chars, min_size=1, max_size=12)
+
+
+@settings(max_examples=150, deadline=None)
+@given(passwords)
+def test_extracted_pattern_always_matches_its_password(password):
+    pattern = Pattern.from_password(password)
+    assert pattern.matches(password)
+    assert pattern.length == len(password)
+
+
+@settings(max_examples=150, deadline=None)
+@given(passwords)
+def test_pattern_string_parse_roundtrip(password):
+    pattern = Pattern.from_password(password)
+    assert Pattern.parse(pattern.string) == pattern
+
+
+@settings(max_examples=150, deadline=None)
+@given(passwords)
+def test_segments_are_maximal_runs(password):
+    pattern = Pattern.from_password(password)
+    classes = pattern.char_classes()
+    assert len(classes) == len(password)
+    # Segment boundaries occur exactly where the class changes.
+    for prev, cur in zip(pattern.segments, pattern.segments[1:]):
+        assert prev.char_class != cur.char_class
+
+
+@settings(max_examples=100, deadline=None)
+@given(passwords)
+def test_extract_pattern_cache_consistency(password):
+    assert extract_pattern(password) == Pattern.from_password(password)

@@ -1,0 +1,142 @@
+"""Tokenizer encode/decode tests (Fig. 4-5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tokenizer import (
+    DIGITS,
+    LETTERS,
+    SPECIALS,
+    VOCAB,
+    Pattern,
+    PasswordOnlyTokenizer,
+    PasswordTokenizer,
+    extract_pattern,
+)
+
+password_chars = st.sampled_from(LETTERS + DIGITS + SPECIALS)
+passwords = st.text(alphabet=password_chars, min_size=1, max_size=12)
+
+
+@pytest.fixture(scope="module")
+def tok():
+    return PasswordTokenizer()
+
+
+@pytest.fixture(scope="module")
+def pot():
+    return PasswordOnlyTokenizer()
+
+
+class TestRuleEncoding:
+    def test_rule_structure(self, tok):
+        ids = tok.encode_rule("Pass123$", pad=False)
+        # <BOS> L4 N3 S1 <SEP> P a s s 1 2 3 $ <EOS>
+        assert ids[0] == VOCAB.bos_id
+        assert ids[4] == VOCAB.sep_id
+        assert ids[-1] == VOCAB.eos_id
+        assert len(ids) == 1 + 3 + 1 + 8 + 1
+        assert VOCAB.is_pattern(ids[1]) and VOCAB.is_pattern(ids[3])
+
+    def test_padding_to_block(self, tok):
+        ids = tok.encode_rule("abc123")
+        assert len(ids) == tok.block_size
+        assert ids[-1] == VOCAB.pad_id
+
+    def test_prompt_encoding(self, tok):
+        prompt = tok.encode_prompt(Pattern.parse("L4N3S1"))
+        assert prompt[0] == VOCAB.bos_id
+        assert prompt[-1] == VOCAB.sep_id
+        assert len(prompt) == 5
+
+    def test_encode_corpus_shape(self, tok):
+        mat = tok.encode_corpus(["abc123", "Pass123$"])
+        assert mat.shape == (2, tok.block_size)
+        assert mat.dtype == np.int64
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            PasswordTokenizer(block_size=20)
+
+    def test_class_char_ids_sizes(self, tok):
+        # The paper's candidate counts: 52 letters, 10 digits, 32 specials.
+        assert len(tok.class_char_ids["L"]) == 52
+        assert len(tok.class_char_ids["N"]) == 10
+        assert len(tok.class_char_ids["S"]) == 32
+
+
+class TestDecoding:
+    def test_decode_stops_at_eos(self, tok):
+        ids = tok.encode_rule("abc123")
+        ids = ids + [VOCAB.id_of("x")]  # junk after pad
+        assert tok.decode_password(ids) == "abc123"
+
+    def test_decode_tokens(self, tok):
+        tokens = tok.decode_tokens(tok.encode_rule("a1", pad=False))
+        assert tokens == ["<BOS>", "L1", "N1", "<SEP>", "a", "1", "<EOS>"]
+
+    def test_decode_ignores_pattern_tokens_after_sep(self, tok):
+        # Corrupt stream: pattern token after SEP must be skipped, not crash.
+        ids = [VOCAB.bos_id, VOCAB.id_of("L1"), VOCAB.sep_id, VOCAB.id_of("L2"), VOCAB.id_of("a")]
+        assert tok.decode_password(ids) == "a"
+
+
+class TestAllowedIds:
+    def test_classes_by_position(self, tok):
+        p = Pattern.parse("L2N1S1")
+        assert len(tok.allowed_ids_at(p, 0)) == 52
+        assert len(tok.allowed_ids_at(p, 1)) == 52
+        assert len(tok.allowed_ids_at(p, 2)) == 10
+        assert len(tok.allowed_ids_at(p, 3)) == 32
+        assert list(tok.allowed_ids_at(p, 4)) == [VOCAB.eos_id]
+        with pytest.raises(IndexError):
+            tok.allowed_ids_at(p, 5)
+
+    def test_pattern_token_tables(self, tok):
+        assert tok.pattern_token_info[tok.pattern_token_id["L"][4]] == ("L", 4)
+        assert len(tok.pattern_token_info) == 36
+
+
+class TestPasswordOnlyTokenizer:
+    def test_encoding_structure(self, pot):
+        ids = pot.encode("abc1", pad=False)
+        assert ids[0] == VOCAB.bos_id
+        assert ids[-1] == VOCAB.eos_id
+        assert len(ids) == 6
+
+    def test_too_long_rejected(self, pot):
+        with pytest.raises(ValueError):
+            pot.encode("a" * 15)
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            PasswordOnlyTokenizer(block_size=10)
+
+
+# ----------------------------------------------------------------------
+# Property-based: encode/decode must round-trip for every valid password
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(passwords)
+def test_rule_roundtrip(password):
+    tok = PasswordTokenizer()
+    assert tok.decode_password(tok.encode_rule(password)) == password
+
+
+@settings(max_examples=200, deadline=None)
+@given(passwords)
+def test_password_only_roundtrip(password):
+    pot = PasswordOnlyTokenizer()
+    assert pot.decode(pot.encode(password)) == password
+
+
+@settings(max_examples=100, deadline=None)
+@given(passwords)
+def test_rule_pattern_prefix_matches_extraction(password):
+    tok = PasswordTokenizer()
+    ids = tok.encode_rule(password, pad=False)
+    sep = ids.index(VOCAB.sep_id)
+    pattern_tokens = [VOCAB.token_of(i) for i in ids[1:sep]]
+    assert "".join(pattern_tokens) == extract_pattern(password).string

@@ -1,0 +1,64 @@
+"""Vocabulary layout tests (§III-B1)."""
+
+import pytest
+
+from repro.tokenizer import VOCAB, Vocabulary
+from repro.tokenizer.vocab import CHAR_TOKENS, PATTERN_TOKENS, SPECIAL_TOKENS
+
+
+class TestLayout:
+    def test_total_size(self):
+        # 94 chars + 5 specials + 36 pattern tokens = 135 (the paper's own
+        # breakdown; its stated total of 136 is an off-by-one, DESIGN.md §6).
+        assert len(VOCAB) == 135
+        assert len(SPECIAL_TOKENS) == 5
+        assert len(PATTERN_TOKENS) == 36
+        assert len(CHAR_TOKENS) == 94
+
+    def test_special_ids(self):
+        assert VOCAB.bos_id == 0
+        assert VOCAB.sep_id == 1
+        assert VOCAB.eos_id == 2
+        assert VOCAB.unk_id == 3
+        assert VOCAB.pad_id == 4
+
+    def test_pattern_tokens_cover_l_n_s_1_to_12(self):
+        for cls in "LNS":
+            for n in range(1, 13):
+                token_id = VOCAB.id_of(f"{cls}{n}")
+                assert token_id != VOCAB.unk_id
+                assert VOCAB.is_pattern(token_id)
+
+    def test_all_ids_unique_and_bijective(self):
+        vocab = Vocabulary()
+        seen = set()
+        for token_id in range(len(vocab)):
+            token = vocab.token_of(token_id)
+            assert token not in seen
+            seen.add(token)
+            assert vocab.id_of(token) == token_id
+
+
+class TestClassification:
+    def test_is_special_is_pattern_is_char_partition(self):
+        kinds = [
+            (VOCAB.is_special(i), VOCAB.is_pattern(i), VOCAB.is_char(i))
+            for i in range(len(VOCAB))
+        ]
+        assert all(sum(k) == 1 for k in kinds)
+
+    def test_char_ids_cover_ascii(self):
+        assert len(VOCAB.char_ids) == 94
+        assert all(VOCAB.is_char(i) for i in VOCAB.char_ids)
+
+
+class TestLookups:
+    def test_unknown_token_maps_to_unk(self):
+        assert VOCAB.id_of("€") == VOCAB.unk_id
+        assert VOCAB.id_of("L13") == VOCAB.unk_id
+
+    def test_out_of_range_id_raises(self):
+        with pytest.raises(IndexError):
+            VOCAB.token_of(135)
+        with pytest.raises(IndexError):
+            VOCAB.token_of(-1)

@@ -1,0 +1,107 @@
+"""Dataloader and trainer tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GPT2Config, GPT2Model
+from repro.training import BatchLoader, TrainConfig, Trainer
+
+
+class TestBatchLoader:
+    def test_covers_all_rows(self):
+        ids = np.arange(25).reshape(25, 1)
+        loader = BatchLoader(ids, batch_size=4, shuffle=True, seed=0)
+        seen = np.concatenate(list(loader)).ravel()
+        assert sorted(seen) == list(range(25))
+
+    def test_batch_count(self):
+        loader = BatchLoader(np.zeros((25, 3)), batch_size=4)
+        assert len(loader) == 7
+
+    def test_no_shuffle_preserves_order(self):
+        ids = np.arange(10).reshape(10, 1)
+        loader = BatchLoader(ids, batch_size=3, shuffle=False)
+        first = next(iter(loader))
+        assert list(first.ravel()) == [0, 1, 2]
+
+    def test_epochs_reshuffle(self):
+        ids = np.arange(50).reshape(50, 1)
+        loader = BatchLoader(ids, batch_size=50, shuffle=True, seed=0)
+        e1 = next(iter(loader)).ravel().tolist()
+        e2 = next(iter(loader)).ravel().tolist()
+        assert e1 != e2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchLoader(np.zeros(5), batch_size=2)
+        with pytest.raises(ValueError):
+            BatchLoader(np.zeros((5, 2)), batch_size=0)
+
+
+@pytest.fixture(scope="module")
+def toy_ids():
+    """Sequences with strong structure the model can learn quickly."""
+    rng = np.random.default_rng(0)
+    base = np.tile(np.arange(8), (64, 1))  # always 0 1 2 3 4 5 6 7
+    return base + rng.integers(0, 2, size=(64, 1))  # two variants
+
+
+class TestTrainer:
+    def test_loss_decreases(self, toy_ids):
+        model = GPT2Model(
+            GPT2Config(vocab_size=10, block_size=8, dim=16, n_layers=1, n_heads=2, dropout=0.0)
+        )
+        trainer = Trainer(model, pad_id=9, config=TrainConfig(epochs=8, batch_size=16, lr=3e-3))
+        history = trainer.fit(toy_ids)
+        assert history.train_loss[-1] < history.train_loss[0] * 0.75
+
+    def test_validation_tracked(self, toy_ids):
+        model = GPT2Model(
+            GPT2Config(vocab_size=10, block_size=8, dim=16, n_layers=1, n_heads=2, dropout=0.0)
+        )
+        trainer = Trainer(model, pad_id=9, config=TrainConfig(epochs=3, batch_size=16, lr=3e-3))
+        history = trainer.fit(toy_ids[:48], val_ids=toy_ids[48:])
+        assert len(history.val_loss) == 3
+        assert history.best_epoch >= 0
+        assert history.best_val_loss == min(history.val_loss)
+
+    def test_early_stopping(self, toy_ids):
+        model = GPT2Model(
+            GPT2Config(vocab_size=10, block_size=8, dim=16, n_layers=1, n_heads=2, dropout=0.0)
+        )
+        # lr=0 -> no improvement -> stops after patience epochs.
+        trainer = Trainer(
+            model,
+            pad_id=9,
+            config=TrainConfig(epochs=10, batch_size=16, lr=0.0, early_stop_patience=2),
+        )
+        history = trainer.fit(toy_ids[:48], val_ids=toy_ids[48:])
+        assert history.stopped_early
+        assert len(history.val_loss) < 10
+
+    def test_evaluate_requires_data(self, toy_ids):
+        model = GPT2Model(
+            GPT2Config(vocab_size=10, block_size=8, dim=16, n_layers=1, n_heads=2, dropout=0.0)
+        )
+        trainer = Trainer(model, pad_id=9)
+        with pytest.raises(ValueError):
+            trainer.evaluate(np.zeros((0, 8), dtype=np.int64))
+
+    def test_model_left_in_eval_mode(self, toy_ids):
+        model = GPT2Model(
+            GPT2Config(vocab_size=10, block_size=8, dim=16, n_layers=1, n_heads=2, dropout=0.1)
+        )
+        trainer = Trainer(model, pad_id=9, config=TrainConfig(epochs=1, batch_size=16))
+        trainer.fit(toy_ids)
+        assert not model.training
+
+    def test_log_fn_called(self, toy_ids):
+        messages = []
+        model = GPT2Model(
+            GPT2Config(vocab_size=10, block_size=8, dim=16, n_layers=1, n_heads=2, dropout=0.0)
+        )
+        trainer = Trainer(
+            model, pad_id=9, config=TrainConfig(epochs=2, batch_size=32), log_fn=messages.append
+        )
+        trainer.fit(toy_ids)
+        assert len(messages) == 2
