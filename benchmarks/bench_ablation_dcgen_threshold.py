@@ -19,7 +19,7 @@ def test_ablation_dcgen_threshold(benchmark, lab, save_result):
     rows = []
     repeats = {}
     for threshold in THRESHOLDS:
-        gen = DCGenerator(model, DCGenConfig(threshold=threshold))
+        gen = DCGenerator(model, DCGenConfig(threshold=threshold, workers=lab.workers))
         guesses = gen.generate(budget, seed=0)
         repeats[threshold] = repeat_rate(guesses)
         rows.append(
@@ -34,7 +34,9 @@ def test_ablation_dcgen_threshold(benchmark, lab, save_result):
         )
 
     benchmark.pedantic(
-        lambda: DCGenerator(model, DCGenConfig(threshold=256)).generate(budget, seed=0),
+        lambda: DCGenerator(
+            model, DCGenConfig(threshold=256, workers=lab.workers)
+        ).generate(budget, seed=0),
         rounds=1,
         iterations=1,
     )

@@ -15,7 +15,11 @@ from repro.evaluation import render_table
 
 def test_table4_trawling_hit_rates(benchmark, lab, trawling_result, save_result):
     model = lab.pagpassgpt("rockyou")
-    benchmark.pedantic(lambda: model.generate(1_000, seed=11), rounds=3, iterations=1)
+    benchmark.pedantic(
+        lambda: model.generate(1_000, seed=11, workers=lab.workers),
+        rounds=3,
+        iterations=1,
+    )
 
     budgets = trawling_result.budgets
     table = render_table(
@@ -30,10 +34,17 @@ def test_table4_trawling_hit_rates(benchmark, lab, trawling_result, save_result)
 
     top = -1  # largest budget
     hr = {name: rates[top] for name, rates in trawling_result.hit_rates.items()}
-    # Shape (paper ordering at the largest budget):
+    # Shape (paper ordering at the largest budget); each comparison only
+    # applies when both rows ran (REPRO_BENCH_TRAWLING_MODELS can filter
+    # the zoo down for the CI smoke):
     # GPT-family models dominate the older deep baselines...
     for old in ("PassGAN", "VAEPass", "PassFlow"):
-        assert hr["PagPassGPT"] > hr[old]
-        assert hr["PassGPT"] > hr[old]
+        if old not in hr:
+            continue
+        if "PagPassGPT" in hr:
+            assert hr["PagPassGPT"] > hr[old]
+        if "PassGPT" in hr:
+            assert hr["PassGPT"] > hr[old]
     # ...and D&C-GEN does not hurt PagPassGPT's hit rate.
-    assert hr["PagPassGPT-D&C"] >= hr["PagPassGPT"] * 0.9
+    if {"PagPassGPT-D&C", "PagPassGPT"} <= hr.keys():
+        assert hr["PagPassGPT-D&C"] >= hr["PagPassGPT"] * 0.9

@@ -26,6 +26,13 @@ from repro.evaluation import (
 )
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+#: Worker processes for D&C-GEN leaf execution.  The guess streams (and
+#: therefore every reported number) are identical for any value; only
+#: wall-clock changes.  scripts/ci.sh runs the smoke with 2.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+#: Optional comma-separated model filter for the trawling run — the CI
+#: smoke restricts it to the GPT rows to stay within its time budget.
+TRAWLING_MODELS = os.environ.get("REPRO_BENCH_TRAWLING_MODELS", "")
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = _REPO_ROOT / "benchmarks" / "results" / SCALE
 
@@ -37,6 +44,7 @@ def lab() -> ModelLab:
         cache_dir=_REPO_ROOT / ".cache" / "lab",
         seed=0,
         log_fn=lambda m: print(f"  {m}", flush=True),
+        workers=WORKERS,
     )
 
 
@@ -61,4 +69,7 @@ def guided_result(lab):
 
 @pytest.fixture(scope="session")
 def trawling_result(lab):
+    if TRAWLING_MODELS:
+        names = tuple(n.strip() for n in TRAWLING_MODELS.split(",") if n.strip())
+        return trawling_test(lab, model_names=names)
     return trawling_test(lab)

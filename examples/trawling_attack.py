@@ -6,7 +6,10 @@ hit rate and repeat rate — the two headline metrics of the paper.
 
 Usage::
 
-    python examples/trawling_attack.py [--budget 20000]
+    python examples/trawling_attack.py [--budget 20000] [--workers 4]
+
+``--workers`` shards D&C-GEN's leaf tasks across a process pool; the
+guess streams are identical to a serial run (same seeds per leaf).
 """
 
 import argparse
@@ -18,9 +21,12 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--budget", type=int, default=20_000,
                         help="total guesses per model (default 20000)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process count for D&C-GEN leaf execution (default 1)")
     args = parser.parse_args()
 
-    lab = ModelLab(scale="tiny", cache_dir=".cache/lab", log_fn=lambda m: print(f"  {m}"))
+    lab = ModelLab(scale="tiny", cache_dir=".cache/lab", workers=args.workers,
+                   log_fn=lambda m: print(f"  {m}"))
     budgets = sorted({args.budget // 100, args.budget // 10, args.budget})
     result = trawling_test(
         lab,

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI entry point: full test suite + a short parallel-generation smoke.
+#
+# 1. Runs the tier-1 suite (unit/property/integration tests).
+# 2. Smokes bench_table4_trawling at tiny scale with 2 worker processes
+#    and only the GPT model rows, exercising the multiprocess D&C-GEN
+#    backend end-to-end (~30 s warm; the first run trains the tiny
+#    checkpoints into .cache/lab and takes a few minutes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src
+
+python -m pytest -x -q
+
+REPRO_BENCH_SCALE=tiny \
+REPRO_BENCH_WORKERS=2 \
+REPRO_BENCH_TRAWLING_MODELS="PagPassGPT,PagPassGPT-D&C" \
+python -m pytest benchmarks/bench_table4_trawling.py --benchmark-only -x -q

@@ -149,11 +149,15 @@ def cmd_generate(args: argparse.Namespace) -> int:
         if not isinstance(model, PagPassGPT):
             print("--dcgen requires a PagPassGPT checkpoint", file=sys.stderr)
             return 2
-        generator = DCGenerator(model, DCGenConfig(threshold=args.threshold))
+        generator = DCGenerator(
+            model, DCGenConfig(threshold=args.threshold, workers=args.workers)
+        )
         guesses = generator.generate(args.n, seed=args.seed)
         stats = generator.stats
         print(f"D&C-GEN: {stats.patterns_used} patterns, {stats.leaves} leaves, "
-              f"{stats.divisions} divisions", file=sys.stderr)
+              f"{stats.divisions} divisions, {args.workers} worker(s)", file=sys.stderr)
+    elif isinstance(model, PagPassGPT):
+        guesses = model.generate(args.n, seed=args.seed, workers=args.workers)
     else:
         guesses = model.generate(args.n, seed=args.seed)
     _write_lines(args.out, guesses)
@@ -241,6 +245,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pattern", default=None, help='guided generation, e.g. "L6N2"')
     p.add_argument("--dcgen", action="store_true", help="use D&C-GEN (PagPassGPT only)")
     p.add_argument("--threshold", type=int, default=256, help="D&C-GEN threshold T")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for free/D&C-GEN generation "
+                        "(output is identical for any count)")
     p.add_argument("--temperature", type=float, default=1.0)
     p.add_argument("--top-k", type=int, default=0)
     p.add_argument("--top-p", type=float, default=1.0)

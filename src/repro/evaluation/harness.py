@@ -149,11 +149,15 @@ class ModelLab:
         cache_dir: Optional[str | Path] = None,
         seed: int = 0,
         log_fn=None,
+        workers: int = 1,
     ) -> None:
         self.scale = SCALES[scale] if isinstance(scale, str) else scale
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self.seed = seed
         self.log_fn = log_fn
+        #: Worker processes for D&C-GEN leaf execution (guess streams are
+        #: identical for any count; see repro.generation.parallel).
+        self.workers = workers
         self._sites: dict[str, SiteData] = {}
         self._models: dict[tuple, object] = {}
 
@@ -278,7 +282,8 @@ class ModelLab:
         if key not in self._models:
             base = self.pagpassgpt(site)
             self._models[key] = PagPassGPTDC(
-                base, DCGenConfig(threshold=self.scale.dc_threshold)
+                base,
+                DCGenConfig(threshold=self.scale.dc_threshold, workers=self.workers),
             )
         return self._models[key]  # type: ignore[return-value]
 

@@ -1,8 +1,24 @@
-"""Generation machinery: samplers and the D&C-GEN algorithm."""
+"""Generation machinery: samplers, D&C-GEN, and the parallel backend."""
 
-from .dcgen import DCGenConfig, DCGenStats, DCGenerator, remaining_search_space
+from .dcgen import (
+    DCGenConfig,
+    DCGenStats,
+    DCGenerator,
+    LeafBatch,
+    LeafTask,
+    build_batches,
+    execute_batch,
+    leaf_rng,
+    remaining_search_space,
+)
+from .parallel import (
+    execute_batches_parallel,
+    free_chunks,
+    generate_free_parallel,
+)
 from .sampler import (
     SamplerConfig,
+    choose_constrained,
     constrained_distribution,
     logits_to_probs,
     sample,
@@ -13,8 +29,17 @@ __all__ = [
     "DCGenConfig",
     "DCGenStats",
     "DCGenerator",
+    "LeafBatch",
+    "LeafTask",
+    "build_batches",
+    "execute_batch",
+    "leaf_rng",
     "remaining_search_space",
+    "execute_batches_parallel",
+    "free_chunks",
+    "generate_free_parallel",
     "SamplerConfig",
+    "choose_constrained",
     "constrained_distribution",
     "logits_to_probs",
     "sample",

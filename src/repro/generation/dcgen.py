@@ -13,17 +13,38 @@ Implemented optimisations from §III-C3:
   (generalised: at every node, the remaining search space of the prefix);
 * tasks at the same depth are executed as one batched model call;
 * prefixes are carried as integer id arrays end to end (no re-encoding).
+
+Execution model
+---------------
+
+A run has two phases so leaves can execute anywhere:
+
+* **divide** (serial, model-bound): :meth:`DCGenerator.plan` builds the
+  task tree and emits a flat list of :class:`LeafTask` in canonical
+  order, each with a stable ``task_id``;
+* **execute**: leaves are packed into :class:`LeafBatch` es of at most
+  ``gen_batch`` rows (:func:`build_batches`) and run either in-process
+  or on a worker pool (:mod:`repro.generation.parallel`).  Every leaf
+  draws its randomness from ``(base_seed, task_id)``
+  (:func:`leaf_rng`), so the guess stream is byte-identical regardless
+  of batch width or worker count.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from ..tokenizer.patterns import Pattern
-from .sampler import GEN_BATCH, constrained_distribution, sample_constrained
+from .sampler import (
+    GEN_BATCH,
+    SamplerConfig,
+    choose_constrained,
+    constrained_distribution,
+)
 
 if TYPE_CHECKING:  # imported lazily to avoid a models <-> generation cycle
     from ..models.pagpassgpt import PagPassGPT
@@ -36,18 +57,28 @@ class DCGenConfig:
     ``threshold`` is the paper's T: the largest leaf-task budget (the
     paper uses 4,000, tied to GPU batch capacity; scale it with your
     budget).  Tasks whose computed budget falls below ``min_count`` (the
-    paper uses 1) are deleted.
+    paper uses 1) are deleted.  ``gen_batch`` is the model-call batch
+    width (rows per forward pass); it affects throughput only, never the
+    sampled output.  ``workers > 1`` shards leaf batches across a
+    process pool (:mod:`repro.generation.parallel`) with no change to
+    the guess stream or stats.
     """
 
     threshold: int = 256
     min_count: float = 1.0
     max_patterns: Optional[int] = None
+    gen_batch: int = GEN_BATCH
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.threshold < 1:
             raise ValueError("threshold must be >= 1")
         if self.min_count <= 0:
             raise ValueError("min_count must be positive")
+        if self.gen_batch < 1:
+            raise ValueError("gen_batch must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
 
 @dataclass
@@ -64,10 +95,48 @@ class DCGenStats:
 
 @dataclass
 class _Task:
-    """One subtask: a rule prefix plus its share of the guess budget."""
+    """One subtask of the division phase: a rule prefix plus its budget."""
 
     prefix: np.ndarray  # ids: <BOS> pattern <SEP> [chars...]
     count: float
+
+
+@dataclass(frozen=True)
+class LeafTask:
+    """One executable leaf of the division tree.
+
+    ``task_id`` is the leaf's position in the canonical enumeration
+    (patterns in ranked order, then depth, then insertion order); it is
+    stable across runs and seeds the leaf's sampling rng together with
+    the run's base seed, which is what makes execution order — and
+    therefore worker sharding — irrelevant to the output.
+    """
+
+    task_id: int
+    pattern: str
+    prefix: np.ndarray  # ids: <BOS> pattern <SEP> chars[:done_chars]
+    count: float  # budget share (the paper's N_i; may be fractional)
+    rows: int  # whole guesses this leaf emits
+    done_chars: int
+    prompt_len: int
+
+
+@dataclass(frozen=True)
+class LeafBatch:
+    """A slice of the leaf list that executes as one model batch.
+
+    ``slices`` holds ``(leaf, row_start, row_stop)`` triples; a leaf
+    larger than ``gen_batch`` spans several batches.  All leaves in a
+    batch share the pattern and prefix length, so the batch is a single
+    KV-cached decode.
+    """
+
+    batch_id: int
+    slices: tuple[tuple[LeafTask, int, int], ...]
+
+    @property
+    def rows(self) -> int:
+        return sum(stop - start for _, start, stop in self.slices)
 
 
 def _largest_remainder(weights: np.ndarray, units: int) -> np.ndarray:
@@ -102,6 +171,110 @@ def remaining_search_space(pattern: Pattern, done_chars: int) -> float:
     return space
 
 
+def leaf_rng(base_seed: int, task_id: int) -> np.random.Generator:
+    """The per-leaf random generator: ``(base_seed, task_id)`` seeded.
+
+    Every leaf's draws come from its own stream, so the output does not
+    depend on which batch (or which worker) the leaf lands in.
+    """
+    return np.random.default_rng((base_seed, task_id))
+
+
+def build_batches(leaves: Sequence[LeafTask], gen_batch: int) -> list[LeafBatch]:
+    """Pack leaves into execution batches of at most ``gen_batch`` rows.
+
+    Batches never mix prefix lengths or patterns (each batch is one
+    KV-cached decode), and together they cover every leaf's rows exactly
+    once — the unit of work the parallel backend shards.
+    """
+    batches: list[LeafBatch] = []
+    slices: list[tuple[LeafTask, int, int]] = []
+    room = gen_batch
+    key: Optional[tuple[str, int]] = None
+
+    def flush() -> None:
+        nonlocal slices, room
+        if slices:
+            batches.append(LeafBatch(batch_id=len(batches), slices=tuple(slices)))
+        slices = []
+        room = gen_batch
+
+    for leaf in leaves:
+        leaf_key = (leaf.pattern, leaf.done_chars)
+        if key != leaf_key:
+            flush()
+            key = leaf_key
+        start = 0
+        while start < leaf.rows:
+            take = min(room, leaf.rows - start)
+            slices.append((leaf, start, start + take))
+            room -= take
+            start += take
+            if room == 0:
+                flush()
+    flush()
+    return batches
+
+
+def execute_batch(
+    model: "PagPassGPT",
+    batch: LeafBatch,
+    base_seed: int,
+    sampler: SamplerConfig,
+) -> tuple[list[str], int]:
+    """Run one leaf batch; returns ``(guesses in row order, model calls)``.
+
+    Pure with respect to run state: everything it needs travels in the
+    batch, so it executes identically in the serial loop and in a worker
+    process.
+    """
+    tokenizer = model.tokenizer
+    vocab = tokenizer.vocab
+    first = batch.slices[0][0]
+    pattern = Pattern.parse(first.pattern)
+    done = first.done_chars
+    n_positions = pattern.length - done
+
+    # Fully-specified prefixes need no sampling at all.
+    if n_positions == 0:
+        out = [
+            tokenizer.decode_password(np.append(leaf.prefix, vocab.eos_id))
+            for leaf, start, stop in batch.slices
+            for _ in range(stop - start)
+        ]
+        return out, 0
+
+    rows = np.stack(
+        [
+            leaf.prefix
+            for leaf, start, stop in batch.slices
+            for _ in range(stop - start)
+        ]
+    )
+    # Each leaf's draw matrix is drawn whole and sliced, so a leaf that
+    # spans several batches still samples the same values per row.
+    draws = np.concatenate(
+        [
+            leaf_rng(base_seed, leaf.task_id).random((leaf.rows, n_positions))[start:stop]
+            for leaf, start, stop in batch.slices
+        ]
+    )
+
+    logits, cache = model.inference.start(rows)
+    calls = 1
+    prompt_len = first.prompt_len
+    chars = [[vocab.token_of(int(i)) for i in row[prompt_len:]] for row in rows]
+    for j, position in enumerate(range(done, pattern.length)):
+        allowed = tokenizer.allowed_ids_at(pattern, position)
+        chosen = choose_constrained(logits, allowed, draws[:, j], sampler)
+        for row, token_id in enumerate(chosen):
+            chars[row].append(vocab.token_of(int(token_id)))
+        if position + 1 < pattern.length:
+            logits = model.inference.step(chosen, cache)
+            calls += 1
+    return ["".join(c) for c in chars], calls
+
+
 class DCGenerator:
     """Runs Algorithm 1 on a fitted :class:`PagPassGPT`."""
 
@@ -109,6 +282,8 @@ class DCGenerator:
         self.model = model
         self.config = config
         self.stats = DCGenStats()
+        #: Leaves of the most recent :meth:`plan` / :meth:`generate` call.
+        self.leaf_tasks: list[LeafTask] = []
 
     # ------------------------------------------------------------------
     def generate(
@@ -122,6 +297,31 @@ class DCGenerator:
         ``pattern_probs`` defaults to the S_p recorded while fitting the
         model.  Patterns are processed in descending probability, so a
         truncated prefix of the output is itself a sensible guess list.
+        ``seed`` feeds every leaf's rng via :func:`leaf_rng`; the stream
+        is identical for any ``gen_batch`` or ``workers`` setting.
+        """
+        leaves = self.plan(total, pattern_probs)
+        batches = build_batches(leaves, self.config.gen_batch)
+        out: list[str] = []
+        for guesses, calls in self._execute(batches, seed):
+            out.extend(guesses)
+            self.stats.model_calls += calls
+        self.stats.generated = len(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Divide phase
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        total: int,
+        pattern_probs: Optional[dict[str, float]] = None,
+    ) -> list[LeafTask]:
+        """Divide phase only: build and return the canonical leaf list.
+
+        Resets :attr:`stats` and populates the divide-phase counters
+        (``patterns_used``, ``divisions``, ``deleted_tasks``, ``leaves``
+        and the divide-phase share of ``model_calls``).
         """
         model = self.model
         if not model.is_fitted:
@@ -129,8 +329,8 @@ class DCGenerator:
         probs = pattern_probs if pattern_probs is not None else model.pattern_probs
         if not probs:
             raise ValueError("no pattern distribution available; fit the model first")
-        rng = np.random.default_rng(seed)
         self.stats = DCGenStats()
+        self.leaf_tasks = []
 
         ranked = sorted(probs.items(), key=lambda item: (-item[1], item[0]))
         if self.config.max_patterns is not None:
@@ -145,27 +345,27 @@ class DCGenerator:
         if not kept or kept_mass <= 0:
             return []
 
-        out: list[str] = []
+        leaves: list[LeafTask] = []
         for pattern_str, prob in kept:
             pattern = Pattern.parse(pattern_str)
             budget = min(total * prob / kept_mass, remaining_search_space(pattern, 0))
             self.stats.patterns_used += 1
-            out.extend(self._run_pattern(pattern, budget, rng))
-        self.stats.generated = len(out)
-        return out
+            self._divide_pattern(pattern, budget, leaves)
+        self.stats.leaves = len(leaves)
+        self.leaf_tasks = leaves
+        return leaves
 
-    # ------------------------------------------------------------------
-    def _run_pattern(
-        self, pattern: Pattern, budget: float, rng: np.random.Generator
-    ) -> list[str]:
-        """Divide one pattern's task tree and execute its leaves."""
+    def _divide_pattern(
+        self, pattern: Pattern, budget: float, out: list[LeafTask]
+    ) -> None:
+        """Divide one pattern's task tree, appending its leaves to ``out``."""
         tokenizer = self.model.tokenizer
         prompt = np.asarray(tokenizer.encode_prompt(pattern), dtype=np.int64)
         prompt_len = len(prompt)
         threshold = self.config.threshold
 
         # Level-synchronous division: every task at depth d has the same
-        # prefix length, so a whole level is one batched forward pass.
+        # prefix length, so a whole level is one batched model call.
         leaves_by_depth: dict[int, list[_Task]] = {}
         if budget <= threshold:
             leaves_by_depth[0] = [_Task(prompt, budget)]
@@ -207,64 +407,61 @@ class DCGenerator:
             frontier = next_frontier
             depth += 1
 
-        # Execute leaves, batching tasks that share a depth.
-        out: list[str] = []
+        # Emit leaves in canonical order: depth-sorted, insertion order.
         for leaf_depth in sorted(leaves_by_depth):
-            tasks = leaves_by_depth[leaf_depth]
-            self.stats.leaves += len(tasks)
-            out.extend(
-                self._execute_leaves(pattern, tasks, leaf_depth, prompt_len, rng)
-            )
-        return out
+            for task in leaves_by_depth[leaf_depth]:
+                if leaf_depth == pattern.length:
+                    rows = 1  # fully specified: one decode, no sampling
+                else:
+                    # Ceil rather than round: fractional leaf budgets would
+                    # otherwise systematically under-spend the requested
+                    # total (mass already lost to deleted children).
+                    rows = int(np.ceil(task.count))
+                out.append(
+                    LeafTask(
+                        task_id=len(out),
+                        pattern=pattern.string,
+                        prefix=task.prefix,
+                        count=float(task.count),
+                        rows=rows,
+                        done_chars=leaf_depth,
+                        prompt_len=prompt_len,
+                    )
+                )
 
     def _next_distributions(self, rows: np.ndarray, allowed: np.ndarray) -> np.ndarray:
         """Renormalised next-token probabilities over ``allowed`` per row."""
+        gen_batch = self.config.gen_batch
         out = np.empty((len(rows), len(allowed)), dtype=np.float64)
-        for start in range(0, len(rows), GEN_BATCH):
-            chunk = rows[start : start + GEN_BATCH]
+        for start in range(0, len(rows), gen_batch):
+            chunk = rows[start : start + gen_batch]
             logits, _ = self.model.inference.start(chunk)
             out[start : start + len(chunk)] = constrained_distribution(logits, allowed)
             self.stats.model_calls += 1
         return out
 
-    def _execute_leaves(
-        self,
-        pattern: Pattern,
-        tasks: list[_Task],
-        depth: int,
-        prompt_len: int,
-        rng: np.random.Generator,
-    ) -> list[str]:
-        """Sample each leaf's completions; leaves at one depth share batches."""
-        tokenizer = self.model.tokenizer
-        vocab = tokenizer.vocab
-        # Fully-specified prefixes need no sampling at all.
-        if depth == pattern.length:
-            return [tokenizer.decode_password(np.append(t.prefix, vocab.eos_id)) for t in tasks]
+    # ------------------------------------------------------------------
+    # Execute phase
+    # ------------------------------------------------------------------
+    def _execute(
+        self, batches: list[LeafBatch], seed: int
+    ) -> list[tuple[list[str], int]]:
+        """Run all batches serially or on a pool, in batch order."""
+        if self.config.workers > 1 and len(batches) > 1:
+            from .parallel import execute_batches_parallel
 
-        rows_list: list[np.ndarray] = []
-        for task in tasks:
-            # Ceil rather than round: fractional leaf budgets would
-            # otherwise systematically under-spend the requested total
-            # (mass already lost to deleted sub-min_count children).
-            count = int(np.ceil(task.count))
-            rows_list.extend([task.prefix] * count)
-
-        out: list[str] = []
-        for start in range(0, len(rows_list), GEN_BATCH):
-            chunk = np.stack(rows_list[start : start + GEN_BATCH])
-            logits, cache = self.model.inference.start(chunk)
-            self.stats.model_calls += 1
-            chars = [
-                [vocab.token_of(int(i)) for i in row[prompt_len:]] for row in chunk
-            ]
-            for position in range(depth, pattern.length):
-                allowed = tokenizer.allowed_ids_at(pattern, position)
-                chosen = sample_constrained(logits, allowed, rng, self.model.sampler)
-                for row, token_id in enumerate(chosen):
-                    chars[row].append(vocab.token_of(int(token_id)))
-                if position + 1 < pattern.length:
-                    logits = self.model.inference.step(chosen, cache)
-                    self.stats.model_calls += 1
-            out.extend("".join(c) for c in chars)
-        return out
+            try:
+                return execute_batches_parallel(
+                    self.model, batches, seed, self.config.workers
+                )
+            except Exception as exc:
+                warnings.warn(
+                    f"parallel D&C-GEN execution failed ({exc!r}); "
+                    "falling back to serial execution",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        return [
+            execute_batch(self.model, batch, seed, self.model.sampler)
+            for batch in batches
+        ]

@@ -1,0 +1,190 @@
+"""Multiprocess execution backend for generation leaf tasks.
+
+D&C-GEN's subtasks are non-overlapping (§III-C2), which makes leaf
+execution embarrassingly parallel — the paper runs it across 4 GPUs.
+Here the divide phase stays serial in the parent (it is model-bound and
+cheap), and the resulting :class:`~repro.generation.dcgen.LeafBatch`
+list is sharded across a process pool.  Free (trawling) generation
+parallelises the same way, with ``gen_batch``-sized chunks as the unit.
+
+Because every leaf/chunk seeds its own rng from ``(base_seed, task_id)``,
+the merged stream is byte-identical to the serial path for any worker
+count — the equivalence harness in ``tests/test_generation_parallel.py``
+enforces this.
+
+Weight sharing
+--------------
+
+* With the ``fork`` start method (Linux default) workers inherit the
+  parent's model snapshot copy-on-write: the parent touches
+  ``model.inference`` once before forking so no worker rebuilds it.
+* Without ``fork`` (e.g. spawn on macOS/Windows) the parent writes the
+  weights once to a temporary ``repro.nn.serialization`` checkpoint and
+  each worker rebuilds the model from that blob at pool init.
+
+Failure handling
+----------------
+
+Worker exceptions propagate out of :func:`execute_batches_parallel` /
+:func:`generate_free_parallel`; callers catch them and fall back to the
+serial path with a :class:`RuntimeWarning`.  Setting the
+``REPRO_PARALLEL_TEST_CRASH`` environment variable makes every worker
+raise before its first task — the hook the fallback tests use.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+import numpy as np
+
+from .dcgen import LeafBatch, execute_batch
+from .sampler import GEN_BATCH, SamplerConfig
+
+if TYPE_CHECKING:  # imported lazily to avoid a models <-> generation cycle
+    from ..models.pagpassgpt import PagPassGPT
+
+#: Environment variable that makes every worker crash before its first
+#: task.  Used by the equivalence harness to test graceful fallback.
+CRASH_ENV = "REPRO_PARALLEL_TEST_CRASH"
+
+
+@dataclass
+class _WorkerContext:
+    """Read-only state each worker needs: model, task list, seed."""
+
+    model: "PagPassGPT"
+    tasks: Sequence
+    base_seed: int
+    sampler: SamplerConfig
+
+
+#: Set in the parent before forking (inherited copy-on-write) or rebuilt
+#: by :func:`_init_from_checkpoint` under non-fork start methods.
+_CTX: Optional[_WorkerContext] = None
+
+
+def _check_crash_hook() -> None:
+    if os.environ.get(CRASH_ENV):
+        raise RuntimeError(f"worker crash injected via {CRASH_ENV}")
+
+
+def _init_from_checkpoint(path, tokenizer, sampler, tasks, base_seed) -> None:
+    """Pool initializer for non-fork start methods.
+
+    Rebuilds the model once per worker from an explicit weight blob (a
+    ``repro.nn.serialization`` npz checkpoint written by the parent).
+    """
+    global _CTX
+    from ..models.pagpassgpt import PagPassGPT
+
+    model = PagPassGPT.load(path)
+    model.tokenizer = tokenizer
+    model.sampler = sampler
+    _CTX = _WorkerContext(model=model, tasks=tasks, base_seed=base_seed, sampler=sampler)
+
+
+def _run_batch(index: int) -> tuple[list[str], int]:
+    """Worker body: execute one D&C-GEN leaf batch by index."""
+    _check_crash_hook()
+    ctx = _CTX
+    assert ctx is not None, "worker context not initialised"
+    return execute_batch(ctx.model, ctx.tasks[index], ctx.base_seed, ctx.sampler)
+
+
+def _run_free_chunk(index: int) -> list[str]:
+    """Worker body: generate one free-generation chunk by index."""
+    _check_crash_hook()
+    ctx = _CTX
+    assert ctx is not None, "worker context not initialised"
+    chunk_index, batch = ctx.tasks[index]
+    rng = np.random.default_rng((ctx.base_seed, chunk_index))
+    return ctx.model._generate_free_batch(batch, rng)
+
+
+def _run_pool(
+    model: "PagPassGPT",
+    tasks: Sequence,
+    base_seed: int,
+    workers: int,
+    runner: Callable[[int], object],
+    start_method: Optional[str] = None,
+) -> list:
+    """Map ``runner`` over task indices on a pool; results in task order."""
+    global _CTX
+    if start_method is None:
+        methods = mp.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else mp.get_start_method()
+    model.inference  # build the weight snapshot once, before any fork
+    sampler = model.sampler
+    workers = max(1, min(workers, len(tasks)))
+
+    if start_method == "fork":
+        ctx = mp.get_context("fork")
+        _CTX = _WorkerContext(
+            model=model, tasks=tuple(tasks), base_seed=base_seed, sampler=sampler
+        )
+        try:
+            with ctx.Pool(processes=workers) as pool:
+                return pool.map(runner, range(len(tasks)))
+        finally:
+            _CTX = None
+
+    # Non-fork start method: ship an explicit weight blob once per worker.
+    ctx = mp.get_context(start_method)
+    with tempfile.TemporaryDirectory(prefix="repro-parallel-") as tmp:
+        path = Path(tmp) / "weights.npz"
+        model.save(path)
+        with ctx.Pool(
+            processes=workers,
+            initializer=_init_from_checkpoint,
+            initargs=(str(path), model.tokenizer, sampler, tuple(tasks), base_seed),
+        ) as pool:
+            return pool.map(runner, range(len(tasks)))
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+
+def execute_batches_parallel(
+    model: "PagPassGPT",
+    batches: Sequence[LeafBatch],
+    base_seed: int,
+    workers: int,
+    start_method: Optional[str] = None,
+) -> list[tuple[list[str], int]]:
+    """Execute D&C-GEN leaf batches on a process pool.
+
+    Returns per-batch ``(guesses, model_calls)`` in batch order — the
+    same list the serial loop produces.  Worker failures propagate as
+    exceptions; :class:`~repro.generation.dcgen.DCGenerator` catches
+    them and falls back to serial execution with a warning.
+    """
+    return _run_pool(model, batches, base_seed, workers, _run_batch, start_method)
+
+
+def free_chunks(n: int, gen_batch: int = GEN_BATCH) -> list[tuple[int, int]]:
+    """``(chunk_index, rows)`` pairs covering ``n`` free-generation rows."""
+    return [
+        (i, min(gen_batch, n - start))
+        for i, start in enumerate(range(0, n, gen_batch))
+    ]
+
+
+def generate_free_parallel(
+    model: "PagPassGPT",
+    n: int,
+    base_seed: int,
+    workers: int,
+    start_method: Optional[str] = None,
+) -> list[str]:
+    """Free (trawling) generation with chunks sharded across a pool."""
+    chunks = free_chunks(n)
+    results = _run_pool(model, chunks, base_seed, workers, _run_free_chunk, start_method)
+    return [pw for chunk in results for pw in chunk]

@@ -11,9 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 import numpy as np
 
-#: Generation batch width shared by all autoregressive generators — the
+#: Default generation batch width for all autoregressive generators — the
 #: paper ties D&C-GEN's threshold to GPU batch capacity (§III-C3); on CPU
-#: this is simply the vectorisation width.
+#: this is simply the vectorisation width.  D&C-GEN plumbs the effective
+#: width through ``DCGenConfig.gen_batch``; this constant is its default.
 GEN_BATCH = 512
 
 
@@ -86,9 +87,26 @@ def sample_constrained(
     tokens outside the pattern's current class are filtered out and the
     remaining mass renormalised.
     """
+    return choose_constrained(logits, allowed_ids, rng.random((logits.shape[0], 1)), config)
+
+
+def choose_constrained(
+    logits: np.ndarray,
+    allowed_ids: np.ndarray,
+    draws: np.ndarray,
+    config: SamplerConfig = SamplerConfig(),
+) -> np.ndarray:
+    """:func:`sample_constrained` with the uniform draws supplied by the caller.
+
+    ``draws`` holds one uniform [0, 1) number per batch row.  D&C-GEN
+    pre-draws every leaf task's randomness from a per-leaf generator, so
+    the sampled stream is invariant to batch packing and worker sharding;
+    this function is the deterministic core both entry points share.
+    """
     restricted = logits[:, allowed_ids]
     probs = logits_to_probs(restricted, config)
-    choices = _sample_rows(probs, rng)
+    cumulative = np.cumsum(probs, axis=-1)
+    choices = (np.asarray(draws).reshape(-1, 1) < cumulative).argmax(axis=-1)
     return allowed_ids[choices]
 
 

@@ -15,6 +15,7 @@ Generation:
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -190,7 +191,7 @@ class PagPassGPT(PatternGuidedGuesser):
     # ------------------------------------------------------------------
     # Free (trawling) generation
     # ------------------------------------------------------------------
-    def generate(self, n: int, seed: int = 0) -> list[str]:
+    def generate(self, n: int, seed: int = 0, workers: int = 1) -> list[str]:
         """Trawling approach 1: feed only ``<BOS>``, model writes the rest.
 
         Decoding is *grammar-constrained* to the training rule format
@@ -201,15 +202,34 @@ class PagPassGPT(PatternGuidedGuesser):
         For a converged model the mask is a no-op (training data always
         conforms); for the scaled-down models it removes decode artifacts
         from never-trained tokens such as ``<UNK>``/``<PAD>``.
+
+        Each ``GEN_BATCH`` chunk draws its randomness from
+        ``(seed, chunk_index)``, so the stream is identical for any
+        ``workers`` count; ``workers > 1`` shards chunks across a process
+        pool (:mod:`repro.generation.parallel`) and falls back to the
+        serial loop with a warning if the pool fails.
         """
         self._require_fitted(self._fitted)
         if n <= 0:
             return []
-        rng = np.random.default_rng(seed)
+        from ..generation.parallel import free_chunks, generate_free_parallel
+
+        chunks = free_chunks(n)
+        if workers > 1 and len(chunks) > 1:
+            try:
+                return generate_free_parallel(self, n, seed, workers)
+            except Exception as exc:
+                warnings.warn(
+                    f"parallel free generation failed ({exc!r}); "
+                    "falling back to serial execution",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         out: list[str] = []
-        for start in range(0, n, GEN_BATCH):
-            batch = min(GEN_BATCH, n - start)
-            out.extend(self._generate_free_batch(batch, rng))
+        for index, batch in chunks:
+            out.extend(
+                self._generate_free_batch(batch, np.random.default_rng((seed, index)))
+            )
         return out
 
     def _generate_free_batch(self, batch: int, rng: np.random.Generator) -> list[str]:

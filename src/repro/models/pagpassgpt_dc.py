@@ -16,7 +16,12 @@ from .pagpassgpt import PagPassGPT
 
 
 class PagPassGPTDC(PatternGuidedGuesser):
-    """PagPassGPT whose trawling generation runs through D&C-GEN."""
+    """PagPassGPT whose trawling generation runs through D&C-GEN.
+
+    ``dc_config.workers > 1`` shards leaf execution across a process
+    pool (:mod:`repro.generation.parallel`); the guess stream and stats
+    are identical to the serial path for any worker count.
+    """
 
     name = "PagPassGPT-D&C"
     budget_sensitive = True

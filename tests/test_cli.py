@@ -77,6 +77,15 @@ class TestModelCommands:
                      "--out", str(out)]) == 0
         assert len(out.read_text().splitlines()) > 300
 
+    def test_generate_dcgen_workers_matches_serial(self, pipeline, checkpoint):
+        serial = pipeline / "dc_serial.txt"
+        parallel = pipeline / "dc_workers.txt"
+        common = ["generate", "--checkpoint", str(checkpoint),
+                  "-n", "400", "--dcgen", "--threshold", "32", "--seed", "3"]
+        assert main(common + ["--out", str(serial)]) == 0
+        assert main(common + ["--workers", "2", "--out", str(parallel)]) == 0
+        assert parallel.read_text() == serial.read_text()
+
     def test_generate_with_sampler_flags(self, pipeline, checkpoint):
         out = pipeline / "cold.txt"
         assert main(["generate", "--checkpoint", str(checkpoint),

@@ -48,6 +48,10 @@ class TestConfig:
             DCGenConfig(threshold=0)
         with pytest.raises(ValueError):
             DCGenConfig(min_count=0)
+        with pytest.raises(ValueError):
+            DCGenConfig(gen_batch=0)
+        with pytest.raises(ValueError):
+            DCGenConfig(workers=0)
 
 
 class TestAlgorithm:
@@ -131,3 +135,23 @@ class TestAlgorithm:
         g1 = DCGenerator(untrained_pag, DCGenConfig(threshold=32)).generate(500, seed=9)
         g2 = DCGenerator(untrained_pag, DCGenConfig(threshold=32)).generate(500, seed=9)
         assert g1 == g2
+
+    def test_determinism_regression(self, untrained_pag):
+        """Two independent runs with one seed/config are byte-identical —
+        guess list AND stats (the reproducibility contract the parallel
+        backend builds on)."""
+        first = DCGenerator(untrained_pag, DCGenConfig(threshold=32))
+        second = DCGenerator(untrained_pag, DCGenConfig(threshold=32))
+        out1 = first.generate(700, seed=9)
+        out2 = second.generate(700, seed=9)
+        assert "\n".join(out1).encode() == "\n".join(out2).encode()
+        assert first.stats == second.stats
+
+    def test_gen_batch_does_not_change_output(self, untrained_pag):
+        """The model-call batch width is a pure throughput knob: every
+        leaf pre-draws its randomness, so repacking rows into different
+        batches cannot change what is sampled."""
+        base = DCGenerator(untrained_pag, DCGenConfig(threshold=64)).generate(800, seed=5)
+        for gen_batch in (7, 64, 1024):
+            gen = DCGenerator(untrained_pag, DCGenConfig(threshold=64, gen_batch=gen_batch))
+            assert gen.generate(800, seed=5) == base

@@ -1,12 +1,11 @@
 """D&C-GEN structural properties: the non-overlap guarantee.
 
-Uses a recording subclass to capture the leaf task set and verifies the
-paper's §III-C2 analysis: subtask prefixes partition the search space
-(no leaf's completion set overlaps another's), so duplicates can only
-arise within a single leaf.
+Reads the generator's recorded leaf-task plan and verifies the paper's
+§III-C2 analysis: subtask prefixes partition the search space (no leaf's
+completion set overlaps another's), so duplicates can only arise within
+a single leaf.
 """
 
-import numpy as np
 import pytest
 
 from repro.generation import DCGenConfig, DCGenerator
@@ -14,18 +13,12 @@ from repro.models import PagPassGPT
 from repro.nn import GPT2Config
 
 
-class RecordingDCGenerator(DCGenerator):
-    """Capture every leaf (pattern, prefix) before execution."""
-
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.leaves: list[tuple[str, tuple[int, ...], float]] = []
-
-    def _execute_leaves(self, pattern, tasks, depth, prompt_len, rng):
-        self.leaves.extend(
-            (pattern.string, tuple(t.prefix.tolist()), t.count) for t in tasks
-        )
-        return super()._execute_leaves(pattern, tasks, depth, prompt_len, rng)
+def leaves_of(gen: DCGenerator) -> list[tuple[str, tuple[int, ...], float]]:
+    """(pattern, prefix ids, budget) per leaf of the last run's plan."""
+    return [
+        (leaf.pattern, tuple(leaf.prefix.tolist()), leaf.count)
+        for leaf in gen.leaf_tasks
+    ]
 
 
 @pytest.fixture(scope="module")
@@ -43,11 +36,12 @@ def model():
 
 class TestNonOverlap:
     def test_leaf_prefixes_partition_search_space(self, model):
-        gen = RecordingDCGenerator(model, DCGenConfig(threshold=20))
+        gen = DCGenerator(model, DCGenConfig(threshold=20))
         gen.generate(3000, seed=0)
-        assert gen.leaves
+        leaves = leaves_of(gen)
+        assert leaves
         by_pattern: dict[str, list[tuple[int, ...]]] = {}
-        for pattern_str, prefix, _ in gen.leaves:
+        for pattern_str, prefix, _ in leaves:
             by_pattern.setdefault(pattern_str, []).append(prefix)
         for pattern_str, prefixes in by_pattern.items():
             # No duplicate leaves...
@@ -64,28 +58,42 @@ class TestNonOverlap:
                     )
 
     def test_leaf_budgets_do_not_exceed_threshold(self, model):
-        gen = RecordingDCGenerator(model, DCGenConfig(threshold=20))
+        gen = DCGenerator(model, DCGenConfig(threshold=20))
         gen.generate(3000, seed=0)
-        for _, _, count in gen.leaves:
+        for _, _, count in leaves_of(gen):
             assert count <= 20 + 1e-9
 
     def test_leaf_budgets_sum_to_total(self, model):
-        gen = RecordingDCGenerator(model, DCGenConfig(threshold=20))
+        gen = DCGenerator(model, DCGenConfig(threshold=20))
         gen.generate(3000, seed=0)
-        total = sum(count for _, _, count in gen.leaves)
+        total = sum(count for _, _, count in leaves_of(gen))
         # Mass redistribution keeps the spent budget within a few percent
         # of the request (losses only at search-space caps).
         assert total == pytest.approx(3000, rel=0.1)
+
+    def test_plan_alone_matches_generate_plan(self, model):
+        """plan() is the divide phase generate() itself runs."""
+        gen = DCGenerator(model, DCGenConfig(threshold=20))
+        planned = [
+            (leaf.task_id, leaf.pattern, tuple(leaf.prefix.tolist()), leaf.rows)
+            for leaf in gen.plan(3000)
+        ]
+        gen.generate(3000, seed=0)
+        executed = [
+            (leaf.task_id, leaf.pattern, tuple(leaf.prefix.tolist()), leaf.rows)
+            for leaf in gen.leaf_tasks
+        ]
+        assert planned == executed
 
     def test_duplicates_only_within_leaves(self, model):
         """Cross-check the analysis: every duplicate guess must come from
         one leaf, i.e. distinct leaves of one pattern cannot emit the same
         password (their prefixes differ somewhere)."""
-        gen = RecordingDCGenerator(model, DCGenConfig(threshold=10))
+        gen = DCGenerator(model, DCGenConfig(threshold=10))
         out = gen.generate(2000, seed=0)
         prefix_len = {}  # pattern -> {password prefix chars -> leaf prefix}
         vocab = model.tokenizer.vocab
-        for pattern_str, prefix, _ in gen.leaves:
+        for pattern_str, prefix, _ in leaves_of(gen):
             chars = "".join(
                 vocab.token_of(i) for i in prefix if vocab.is_char(i)
             )

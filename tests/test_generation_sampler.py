@@ -8,6 +8,7 @@ from hypothesis.extra.numpy import arrays
 
 from repro.generation import (
     SamplerConfig,
+    choose_constrained,
     constrained_distribution,
     logits_to_probs,
     sample,
@@ -99,6 +100,40 @@ class TestConstrained:
         # Relative odds preserved: p0/p5 == softmax ratio of raw logits.
         raw = np.exp(logits[:, 0] - logits[:, 5])
         assert np.allclose(dist[:, 0] / dist[:, 1], raw, rtol=1e-4)
+
+
+class TestChooseConstrained:
+    def test_matches_sample_constrained_for_same_rng_stream(self, rng):
+        """choose_constrained is sample_constrained with the draws made
+        explicit — feeding it the draws an rng would have produced must
+        give the same tokens."""
+        logits = rng.normal(size=(16, 20)).astype(np.float32)
+        allowed = np.array([1, 4, 9, 13])
+        via_rng = sample_constrained(logits, allowed, np.random.default_rng(3))
+        draws = np.random.default_rng(3).random((16, 1))[:, 0]
+        via_draws = choose_constrained(logits, allowed, draws)
+        assert (via_rng == via_draws).all()
+
+    def test_only_allowed_ids_returned(self, rng):
+        logits = rng.normal(size=(50, 20)).astype(np.float32)
+        allowed = np.array([3, 7, 11])
+        out = choose_constrained(logits, allowed, np.random.default_rng(1).random(50))
+        assert set(out.tolist()) <= {3, 7, 11}
+
+    def test_row_independence(self, rng):
+        """A row's choice depends only on its own logits and draw — the
+        property that makes batch packing irrelevant to D&C-GEN output."""
+        logits = rng.normal(size=(8, 12)).astype(np.float32)
+        allowed = np.arange(12)
+        draws = np.random.default_rng(2).random(8)
+        whole = choose_constrained(logits, allowed, draws)
+        parts = np.concatenate(
+            [
+                choose_constrained(logits[i : i + 3], allowed, draws[i : i + 3])
+                for i in range(0, 8, 3)
+            ]
+        )
+        assert (whole == parts).all()
 
 
 class TestMasked:

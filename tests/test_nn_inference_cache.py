@@ -1,0 +1,152 @@
+"""KV-cache row operations and cached-vs-serial logit equivalence.
+
+``tests/test_nn_inference.py`` covers the happy path; this file stresses
+the cache's ``select`` (gather) / ``repeat_rows`` (replicate) operations
+— the primitives D&C-GEN uses when splitting task batches — plus the
+serial-vs-cached equivalence at several prefix lengths, including the
+degenerate one-token prompt and a full-block decode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import GPT2Config, GPT2Inference, GPT2Model
+from repro.nn.inference import KVCache
+
+BLOCK = 16
+VOCAB = 30
+
+
+@pytest.fixture(scope="module")
+def inf():
+    cfg = GPT2Config(vocab_size=VOCAB, block_size=BLOCK, dim=32, n_layers=2, n_heads=4, dropout=0.0)
+    model = GPT2Model(cfg, seed=5)
+    model.eval()
+    return GPT2Inference(model)
+
+
+@pytest.fixture(scope="module")
+def ids():
+    return np.random.default_rng(8).integers(0, VOCAB, (6, BLOCK))
+
+
+class TestPrefixLengths:
+    @pytest.mark.parametrize("prefix_len", [1, 2, 5, 11, BLOCK - 1])
+    def test_start_matches_full_forward(self, inf, ids, prefix_len):
+        full = inf.logits(ids[:, :prefix_len])
+        last, cache = inf.start(ids[:, :prefix_len])
+        assert cache.length == prefix_len
+        assert np.allclose(last, full[:, -1], atol=1e-4)
+
+    @pytest.mark.parametrize("prefix_len", [1, 4, 9, BLOCK - 1])
+    def test_cached_decode_matches_serial_recompute(self, inf, ids, prefix_len):
+        """Every cached step equals a from-scratch forward of the same
+        prefix — the strongest form of serial-vs-cached equivalence."""
+        _, cache = inf.start(ids[:, :prefix_len])
+        for t in range(prefix_len, BLOCK):
+            serial = inf.logits(ids[:, : t + 1])[:, -1]
+            last = inf.step(ids[:, t], cache)
+            assert np.allclose(last, serial, atol=1e-4), f"prefix {prefix_len}, step {t}"
+
+    def test_full_block_prompt_leaves_no_room_to_step(self, inf, ids):
+        _, cache = inf.start(ids)
+        assert cache.length == BLOCK
+        with pytest.raises(ValueError):
+            inf.step(ids[:, 0], cache)
+
+
+class TestSelect:
+    """``select`` gathers batch rows — used when surviving sub-prefixes
+    continue decoding after a task split."""
+
+    @pytest.mark.parametrize("prefix_len", [2, 7, 12])
+    def test_gathered_rows_continue_identically(self, inf, ids, prefix_len):
+        _, cache = inf.start(ids[:, :prefix_len])
+        rows = np.array([1, 4, 5])
+        sub = cache.select(rows)
+        assert sub.batch == 3
+        assert sub.length == prefix_len
+        fresh_last, fresh_cache = inf.start(ids[rows, :prefix_len])
+        stepped = inf.step(ids[rows, prefix_len], sub)
+        expected = inf.step(ids[rows, prefix_len], fresh_cache)
+        assert np.allclose(stepped, expected, atol=1e-4)
+
+    def test_reordering_rows(self, inf, ids):
+        _, cache = inf.start(ids[:, :6])
+        perm = np.array([3, 0, 5, 1])
+        sub = cache.select(perm)
+        out = inf.step(ids[perm, 6], sub)
+        expected = inf.logits(ids[perm, :7])[:, -1]
+        assert np.allclose(out, expected, atol=1e-4)
+
+    def test_select_of_select(self, inf, ids):
+        _, cache = inf.start(ids[:, :4])
+        sub = cache.select(np.array([0, 2, 4])).select(np.array([1, 2]))
+        assert sub.batch == 2
+        out = inf.step(ids[[2, 4], 4], sub)
+        expected = inf.logits(ids[[2, 4], :5])[:, -1]
+        assert np.allclose(out, expected, atol=1e-4)
+
+    def test_select_copies_storage(self, inf, ids):
+        """Gather must deep-copy: stepping the child may not corrupt the
+        parent (and vice versa)."""
+        _, cache = inf.start(ids[:, :5])
+        sub = cache.select(np.array([0, 1]))
+        sub.keys[0][...] = 1e9
+        stepped = inf.step(ids[:, 5], cache)
+        expected = inf.logits(ids[:, :6])[:, -1]
+        assert np.allclose(stepped, expected, atol=1e-4)
+        parent_after = inf.start(ids[:, :5])[1].keys[0]
+        assert np.allclose(cache.keys[0][:, :, :5], parent_after[:, :, :5], atol=1e-5)
+
+
+class TestRepeatRows:
+    """``repeat_rows`` replicates one row — used to fan a shared prefix
+    out into a batch of samples."""
+
+    @pytest.mark.parametrize("prefix_len", [1, 5, 10])
+    def test_replicated_rows_match_tiled_prompt(self, inf, ids, prefix_len):
+        _, cache = inf.start(ids[:, :prefix_len])
+        rep = cache.repeat_rows(2, 4)
+        assert rep.batch == 4
+        assert rep.length == prefix_len
+        next_ids = np.array([7, 8, 9, 7])
+        out = inf.step(next_ids, rep)
+        tiled = np.repeat(ids[2:3, :prefix_len], 4, axis=0)
+        expected = inf.logits(
+            np.concatenate([tiled, next_ids[:, None]], axis=1)
+        )[:, -1]
+        assert np.allclose(out, expected, atol=1e-4)
+
+    def test_replicate_copies_storage(self, inf, ids):
+        _, cache = inf.start(ids[:, :5])
+        rep = cache.repeat_rows(0, 2)
+        rep.values[1][...] = -1e9
+        fresh = inf.start(ids[:, :5])[1]
+        assert np.allclose(cache.values[1][:, :, :5], fresh.values[1][:, :, :5], atol=1e-5)
+
+    def test_diverging_continuations_stay_row_independent(self, inf, ids):
+        """Replicated rows fed different tokens must evolve like
+        independent sequences."""
+        _, cache = inf.start(ids[:1, :3])
+        rep = cache.repeat_rows(0, 3)
+        tokens = np.array([[1, 2, 3], [4, 5, 6]])  # two steps, three rows
+        last = inf.step(tokens[0], rep)
+        last = inf.step(tokens[1], rep)
+        for row in range(3):
+            seq = np.concatenate([ids[0, :3], tokens[:, row]])[None, :]
+            expected = inf.logits(seq)[:, -1]
+            assert np.allclose(last[row], expected[0], atol=1e-4), f"row {row}"
+
+
+class TestBookkeeping:
+    def test_select_and_repeat_preserve_length(self, inf, ids):
+        _, cache = inf.start(ids[:, :9])
+        assert cache.select(np.array([0])).length == 9
+        assert cache.repeat_rows(0, 5).length == 9
+
+    def test_zero_row_select(self, inf, ids):
+        _, cache = inf.start(ids[:, :4])
+        empty = cache.select(np.array([], dtype=np.int64))
+        assert empty.batch == 0
+        assert empty.length == 4
