@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# CI entry point: full test suite + a short parallel-generation smoke.
+# CI entry point: full test suite + parallel-generation and crash-resume smokes.
 #
 # 1. Runs the tier-1 suite (unit/property/integration tests).
 # 2. Smokes bench_table4_trawling at tiny scale with 2 worker processes
 #    and only the GPT model rows, exercising the multiprocess D&C-GEN
 #    backend end-to-end (~30 s warm; the first run trains the tiny
 #    checkpoints into .cache/lab and takes a few minutes).
+# 3. Crash-resume smoke: trains a tiny checkpoint, runs a 2-worker
+#    D&C-GEN campaign that is killed after 3 journaled batches
+#    (REPRO_FAULT), resumes it, and diffs the result against a clean
+#    uninterrupted run — the streams must be byte-identical.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,3 +21,34 @@ REPRO_BENCH_SCALE=tiny \
 REPRO_BENCH_WORKERS=2 \
 REPRO_BENCH_TRAWLING_MODELS="PagPassGPT,PagPassGPT-D&C" \
 python -m pytest benchmarks/bench_table4_trawling.py --benchmark-only -x -q
+
+# ----------------------------------------------------------------------
+# Crash-resume smoke (ISSUE 2): interrupted campaign == clean campaign.
+# ----------------------------------------------------------------------
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+python -m repro.cli synth --site rockyou --entries 2000 --out "$SMOKE_DIR/leak.txt"
+python -m repro.cli clean --input "$SMOKE_DIR/leak.txt" --out "$SMOKE_DIR/cleaned.txt"
+python -m repro.cli train --input "$SMOKE_DIR/cleaned.txt" --out "$SMOKE_DIR/model.npz" \
+    --dim 32 --layers 1 --heads 2 --epochs 1 --batch-size 128
+
+GEN_ARGS=(generate --checkpoint "$SMOKE_DIR/model.npz" -n 1500
+          --dcgen --threshold 32 --workers 2 --seed 5)
+
+python -m repro.cli "${GEN_ARGS[@]}" --out "$SMOKE_DIR/clean_run.txt"
+
+# Interrupted run: crash after 3 journaled leaf batches...
+if REPRO_FAULT=crash:leaf_batch:3 \
+   python -m repro.cli "${GEN_ARGS[@]}" --out "$SMOKE_DIR/resumed.txt" \
+       --journal "$SMOKE_DIR/run.jsonl"; then
+    echo "crash-resume smoke: injected crash did not fire" >&2
+    exit 1
+fi
+test -s "$SMOKE_DIR/run.jsonl"  # journaled progress survived the crash
+
+# ...then resume and demand the byte-identical stream.
+python -m repro.cli "${GEN_ARGS[@]}" --out "$SMOKE_DIR/resumed.txt" \
+    --journal "$SMOKE_DIR/run.jsonl" --resume
+diff "$SMOKE_DIR/clean_run.txt" "$SMOKE_DIR/resumed.txt"
+echo "crash-resume smoke: interrupted+resumed run is byte-identical"

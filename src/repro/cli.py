@@ -38,7 +38,8 @@ from .evaluation import (
 )
 from .generation import DCGenConfig, DCGenerator, SamplerConfig
 from .models import PagPassGPT, PassGPT
-from .nn import GPT2Config
+from .nn import CheckpointError, GPT2Config
+from .runtime import JournalError, atomic_write_text
 from .tokenizer import Pattern
 from .training import TrainConfig
 
@@ -48,7 +49,7 @@ def _read_lines(path: str) -> list[str]:
 
 
 def _write_lines(path: str, lines: Sequence[str]) -> None:
-    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 # ----------------------------------------------------------------------
@@ -128,8 +129,22 @@ def cmd_train(args: argparse.Namespace) -> int:
     )
     print(f"training {model.name} ({model.model.num_parameters():,} parameters) "
           f"on {len(train_passwords)} passwords")
-    model.fit(build_corpus(train_passwords), val_passwords=val_passwords, log_fn=print)
+    state_path = args.state or f"{args.out}.train-state.npz"
+    resume_from = None
+    if args.resume:
+        if Path(state_path).exists():
+            resume_from = state_path
+        else:
+            print(f"no training state at {state_path}; starting fresh", file=sys.stderr)
+    model.fit(
+        build_corpus(train_passwords),
+        val_passwords=val_passwords,
+        log_fn=print,
+        checkpoint_path=state_path,
+        resume_from=resume_from,
+    )
     model.save(args.out)
+    Path(state_path).unlink(missing_ok=True)  # campaign finished
     print(f"checkpoint written to {args.out}")
     return 0
 
@@ -140,6 +155,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
         model.sampler = SamplerConfig(
             temperature=args.temperature, top_k=args.top_k, top_p=args.top_p
         )
+    journal_path = Path(args.journal or f"{args.out}.journal.jsonl")
     if args.pattern:
         if not hasattr(model, "generate_with_pattern"):
             print("this model cannot do pattern guided generation", file=sys.stderr)
@@ -152,15 +168,21 @@ def cmd_generate(args: argparse.Namespace) -> int:
         generator = DCGenerator(
             model, DCGenConfig(threshold=args.threshold, workers=args.workers)
         )
-        guesses = generator.generate(args.n, seed=args.seed)
+        guesses = generator.generate(
+            args.n, seed=args.seed, journal=journal_path, resume=args.resume
+        )
         stats = generator.stats
         print(f"D&C-GEN: {stats.patterns_used} patterns, {stats.leaves} leaves, "
               f"{stats.divisions} divisions, {args.workers} worker(s)", file=sys.stderr)
     elif isinstance(model, PagPassGPT):
-        guesses = model.generate(args.n, seed=args.seed, workers=args.workers)
+        guesses = model.generate(
+            args.n, seed=args.seed, workers=args.workers,
+            journal=journal_path, resume=args.resume,
+        )
     else:
         guesses = model.generate(args.n, seed=args.seed)
     _write_lines(args.out, guesses)
+    journal_path.unlink(missing_ok=True)  # campaign finished; journal spent
     print(f"wrote {len(guesses)} guesses to {args.out}")
     return 0
 
@@ -237,6 +259,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lr", type=float, default=2e-3)
     p.add_argument("--patience", type=int, default=0, help="early-stop patience (0=off)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--state", default=None,
+                   help="training-state path (default: <out>.train-state.npz)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the training state if it exists")
     p.set_defaults(fn=cmd_train)
 
     p = sub.add_parser("generate", help="generate guesses from a checkpoint")
@@ -253,6 +279,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top-p", type=float, default=1.0)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True)
+    p.add_argument("--journal", default=None,
+                   help="run-journal path (default: <out>.journal.jsonl); "
+                        "deleted after a successful run")
+    p.add_argument("--resume", action="store_true",
+                   help="resume an interrupted run from its journal "
+                        "(output is byte-identical to an uninterrupted run)")
     p.set_defaults(fn=cmd_generate)
 
     p = sub.add_parser("evaluate", help="score a guess file against a test file")
@@ -265,9 +297,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Unusable checkpoints/journals (missing, corrupt, or belonging to a
+    different run) exit with code 2 and a one-line diagnosis instead of a
+    traceback.
+    """
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (CheckpointError, JournalError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

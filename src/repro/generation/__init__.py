@@ -9,10 +9,12 @@ from .dcgen import (
     build_batches,
     execute_batch,
     leaf_rng,
+    plan_digest,
     remaining_search_space,
 )
 from .parallel import (
     execute_batches_parallel,
+    execute_free_chunks_parallel,
     free_chunks,
     generate_free_parallel,
 )
@@ -34,8 +36,10 @@ __all__ = [
     "build_batches",
     "execute_batch",
     "leaf_rng",
+    "plan_digest",
     "remaining_search_space",
     "execute_batches_parallel",
+    "execute_free_chunks_parallel",
     "free_chunks",
     "generate_free_parallel",
     "SamplerConfig",

@@ -32,12 +32,15 @@ A run has two phases so leaves can execute anywhere:
 
 from __future__ import annotations
 
+import hashlib
 import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
 
+from ..runtime import RetryPolicy, RunJournal, maybe_fail
 from ..tokenizer.patterns import Pattern
 from .sampler import (
     GEN_BATCH,
@@ -61,7 +64,9 @@ class DCGenConfig:
     width (rows per forward pass); it affects throughput only, never the
     sampled output.  ``workers > 1`` shards leaf batches across a
     process pool (:mod:`repro.generation.parallel`) with no change to
-    the guess stream or stats.
+    the guess stream or stats.  ``max_retries`` / ``task_timeout``
+    parameterise the pool supervisor (per-task retry budget and hung-task
+    detection; see :class:`repro.runtime.RetryPolicy`).
     """
 
     threshold: int = 256
@@ -69,6 +74,8 @@ class DCGenConfig:
     max_patterns: Optional[int] = None
     gen_batch: int = GEN_BATCH
     workers: int = 1
+    max_retries: int = 2
+    task_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.threshold < 1:
@@ -79,6 +86,14 @@ class DCGenConfig:
             raise ValueError("gen_batch must be >= 1")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive or None")
+
+    def retry_policy(self) -> RetryPolicy:
+        """The pool-supervision policy these knobs describe."""
+        return RetryPolicy(max_retries=self.max_retries, task_timeout=self.task_timeout)
 
 
 @dataclass
@@ -169,6 +184,20 @@ def remaining_search_space(pattern: Pattern, done_chars: int) -> float:
     for cls in classes[done_chars:]:
         space *= {"L": 52, "N": 10, "S": 32}[cls]
     return space
+
+
+def plan_digest(leaves: Sequence[LeafTask]) -> str:
+    """Content digest of a leaf plan: the run identity a journal pins.
+
+    Two runs with the same digest execute the same leaves with the same
+    budgets, so their journaled batch results are interchangeable.
+    """
+    h = hashlib.sha256()
+    for leaf in leaves:
+        h.update(f"{leaf.task_id}|{leaf.pattern}|{leaf.rows}|{leaf.done_chars}|".encode())
+        h.update(np.asarray(leaf.prefix, dtype=np.int64).tobytes())
+        h.update(b";")
+    return h.hexdigest()[:16]
 
 
 def leaf_rng(base_seed: int, task_id: int) -> np.random.Generator:
@@ -291,6 +320,8 @@ class DCGenerator:
         total: int,
         pattern_probs: Optional[dict[str, float]] = None,
         seed: int = 0,
+        journal: Optional[Union[str, Path, RunJournal]] = None,
+        resume: bool = False,
     ) -> list[str]:
         """Generate ~``total`` guesses; returns the raw (ordered) stream.
 
@@ -299,11 +330,37 @@ class DCGenerator:
         truncated prefix of the output is itself a sensible guess list.
         ``seed`` feeds every leaf's rng via :func:`leaf_rng`; the stream
         is identical for any ``gen_batch`` or ``workers`` setting.
+
+        ``journal`` (a path or an open :class:`RunJournal`) makes the run
+        crash-safe: every completed leaf batch is journaled as it lands,
+        and a rerun with ``resume=True`` skips journaled batches and
+        emits the byte-identical stream an uninterrupted run would have —
+        even with a different worker count.  Resuming validates the
+        journal's header (seed, total, plan digest) and raises
+        :class:`~repro.runtime.JournalError` on mismatch.
         """
         leaves = self.plan(total, pattern_probs)
         batches = build_batches(leaves, self.config.gen_batch)
+        owns_journal = False
+        if journal is not None and not isinstance(journal, RunJournal):
+            header = {
+                "kind": "dcgen",
+                "seed": int(seed),
+                "total": int(total),
+                "threshold": int(self.config.threshold),
+                "gen_batch": int(self.config.gen_batch),
+                "n_batches": len(batches),
+                "plan": plan_digest(leaves),
+            }
+            journal = RunJournal.attach(journal, header, resume=resume)
+            owns_journal = True
+        try:
+            results = self._execute(batches, seed, journal)
+        finally:
+            if owns_journal:
+                journal.close()
         out: list[str] = []
-        for guesses, calls in self._execute(batches, seed):
+        for guesses, calls in results:
             out.extend(guesses)
             self.stats.model_calls += calls
         self.stats.generated = len(out)
@@ -444,15 +501,50 @@ class DCGenerator:
     # Execute phase
     # ------------------------------------------------------------------
     def _execute(
-        self, batches: list[LeafBatch], seed: int
+        self,
+        batches: list[LeafBatch],
+        seed: int,
+        journal: Optional[RunJournal] = None,
     ) -> list[tuple[list[str], int]]:
-        """Run all batches serially or on a pool, in batch order."""
-        if self.config.workers > 1 and len(batches) > 1:
+        """Run all batches serially or on a pool, in batch order.
+
+        With a journal, batches already journaled are reused verbatim and
+        every fresh completion is journaled the moment it lands — the
+        crash window never costs more than the batch in flight.
+        """
+        results: dict[int, tuple[list[str], int]] = {}
+        if journal is not None:
+            for batch_id, payload in journal.completed("leaf_batch").items():
+                if 0 <= batch_id < len(batches):
+                    results[batch_id] = (
+                        list(payload["guesses"]),
+                        int(payload["model_calls"]),
+                    )
+        pending = [b for b in batches if b.batch_id not in results]
+
+        def on_result(position: int, value) -> None:
+            batch = pending[position]
+            guesses, calls = value
+            maybe_fail("leaf_batch")
+            if journal is not None:
+                journal.record(
+                    "leaf_batch",
+                    batch.batch_id,
+                    {"guesses": list(guesses), "model_calls": int(calls)},
+                )
+            results[batch.batch_id] = (guesses, calls)
+
+        if self.config.workers > 1 and len(pending) > 1:
             from .parallel import execute_batches_parallel
 
             try:
-                return execute_batches_parallel(
-                    self.model, batches, seed, self.config.workers
+                execute_batches_parallel(
+                    self.model,
+                    pending,
+                    seed,
+                    self.config.workers,
+                    policy=self.config.retry_policy(),
+                    on_result=on_result,
                 )
             except Exception as exc:
                 warnings.warn(
@@ -461,7 +553,17 @@ class DCGenerator:
                     RuntimeWarning,
                     stacklevel=3,
                 )
-        return [
-            execute_batch(self.model, batch, seed, self.model.sampler)
-            for batch in batches
-        ]
+                for position, batch in enumerate(pending):
+                    if batch.batch_id in results:
+                        continue  # completed (and journaled) before the failure
+                    on_result(
+                        position,
+                        execute_batch(self.model, batch, seed, self.model.sampler),
+                    )
+        else:
+            for position, batch in enumerate(pending):
+                on_result(
+                    position,
+                    execute_batch(self.model, batch, seed, self.model.sampler),
+                )
+        return [results[batch.batch_id] for batch in batches]

@@ -25,11 +25,20 @@ Weight sharing
 Failure handling
 ----------------
 
-Worker exceptions propagate out of :func:`execute_batches_parallel` /
-:func:`generate_free_parallel`; callers catch them and fall back to the
-serial path with a :class:`RuntimeWarning`.  Setting the
-``REPRO_PARALLEL_TEST_CRASH`` environment variable makes every worker
-raise before its first task — the hook the fallback tests use.
+Tasks run under :func:`repro.runtime.retry.supervised_map`: worker
+exceptions are caught *inside* the worker and reported per task, so a
+single failed or hung task is retried (with backoff, up to
+``RetryPolicy.max_retries`` times, a hung pool being killed and rebuilt)
+while every completed result is kept.  Tasks whose retries are exhausted
+run serially in the parent as a last resort with a ``RuntimeWarning`` —
+the run always completes with the exact serial output.  ``on_result``
+callbacks fire in the parent as each task completes, which is where the
+run journal (:mod:`repro.runtime.journal`) persists progress.
+
+Fault injection (:mod:`repro.runtime.faults`): every worker task passes
+through ``maybe_fail("worker", index)``; the legacy
+``REPRO_PARALLEL_TEST_CRASH`` variable still makes every worker raise
+before its first task.
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
+from ..runtime import RetryPolicy, maybe_fail, supervised_map
 from .dcgen import LeafBatch, execute_batch
 from .sampler import GEN_BATCH, SamplerConfig
 
@@ -92,6 +102,7 @@ def _init_from_checkpoint(path, tokenizer, sampler, tasks, base_seed) -> None:
 def _run_batch(index: int) -> tuple[list[str], int]:
     """Worker body: execute one D&C-GEN leaf batch by index."""
     _check_crash_hook()
+    maybe_fail("worker", index)
     ctx = _CTX
     assert ctx is not None, "worker context not initialised"
     return execute_batch(ctx.model, ctx.tasks[index], ctx.base_seed, ctx.sampler)
@@ -100,6 +111,7 @@ def _run_batch(index: int) -> tuple[list[str], int]:
 def _run_free_chunk(index: int) -> list[str]:
     """Worker body: generate one free-generation chunk by index."""
     _check_crash_hook()
+    maybe_fail("worker", index)
     ctx = _CTX
     assert ctx is not None, "worker context not initialised"
     chunk_index, batch = ctx.tasks[index]
@@ -107,16 +119,44 @@ def _run_free_chunk(index: int) -> list[str]:
     return ctx.model._generate_free_batch(batch, rng)
 
 
+def _guard(runner: Callable[[int], object], index: int) -> tuple[int, bool, object]:
+    """Run one task, converting any raise into a per-task failure record.
+
+    Catching ``BaseException`` is deliberate: injected faults derive from
+    it, and the supervisor must be able to attribute *any* worker failure
+    to its task index rather than lose the whole map.
+    """
+    try:
+        return (index, True, runner(index))
+    except BaseException as exc:  # noqa: BLE001 — see docstring
+        return (index, False, f"{type(exc).__name__}: {exc}")
+
+
+def _guarded_batch(index: int) -> tuple[int, bool, object]:
+    return _guard(_run_batch, index)
+
+
+def _guarded_free(index: int) -> tuple[int, bool, object]:
+    return _guard(_run_free_chunk, index)
+
+
 def _run_pool(
     model: "PagPassGPT",
     tasks: Sequence,
     base_seed: int,
     workers: int,
-    runner: Callable[[int], object],
+    guarded: Callable[[int], tuple[int, bool, object]],
+    serial_fn: Callable[[int], object],
     start_method: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
+    on_result: Optional[Callable[[int, object], None]] = None,
+    context: str = "parallel execution",
 ) -> list:
-    """Map ``runner`` over task indices on a pool; results in task order."""
+    """Supervised map of ``guarded`` over task indices; results in task order."""
     global _CTX
+    if not tasks:
+        return []
+    policy = policy or RetryPolicy()
     if start_method is None:
         methods = mp.get_all_start_methods()
         start_method = "fork" if "fork" in methods else mp.get_start_method()
@@ -130,22 +170,39 @@ def _run_pool(
             model=model, tasks=tuple(tasks), base_seed=base_seed, sampler=sampler
         )
         try:
-            with ctx.Pool(processes=workers) as pool:
-                return pool.map(runner, range(len(tasks)))
+            return supervised_map(
+                lambda: ctx.Pool(processes=workers),
+                guarded,
+                len(tasks),
+                policy=policy,
+                serial_fn=serial_fn,
+                on_result=on_result,
+                context=context,
+            )
         finally:
             _CTX = None
 
     # Non-fork start method: ship an explicit weight blob once per worker.
+    # The blob outlives any single pool so a post-timeout rebuild can
+    # re-initialise fresh workers from it.
     ctx = mp.get_context(start_method)
     with tempfile.TemporaryDirectory(prefix="repro-parallel-") as tmp:
         path = Path(tmp) / "weights.npz"
         model.save(path)
-        with ctx.Pool(
+        factory = lambda: ctx.Pool(  # noqa: E731
             processes=workers,
             initializer=_init_from_checkpoint,
             initargs=(str(path), model.tokenizer, sampler, tuple(tasks), base_seed),
-        ) as pool:
-            return pool.map(runner, range(len(tasks)))
+        )
+        return supervised_map(
+            factory,
+            guarded,
+            len(tasks),
+            policy=policy,
+            serial_fn=serial_fn,
+            on_result=on_result,
+            context=context,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -158,15 +215,30 @@ def execute_batches_parallel(
     base_seed: int,
     workers: int,
     start_method: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
+    on_result: Optional[Callable[[int, object], None]] = None,
 ) -> list[tuple[list[str], int]]:
-    """Execute D&C-GEN leaf batches on a process pool.
+    """Execute D&C-GEN leaf batches on a supervised process pool.
 
     Returns per-batch ``(guesses, model_calls)`` in batch order — the
-    same list the serial loop produces.  Worker failures propagate as
-    exceptions; :class:`~repro.generation.dcgen.DCGenerator` catches
-    them and falls back to serial execution with a warning.
+    same list the serial loop produces.  An empty ``batches`` returns
+    ``[]`` without spinning up a pool.  Individual task failures are
+    retried per :class:`~repro.runtime.retry.RetryPolicy` and fall back
+    to in-parent serial execution as a last resort; ``on_result(index,
+    result)`` fires once per batch as it completes (unordered).
     """
-    return _run_pool(model, batches, base_seed, workers, _run_batch, start_method)
+    return _run_pool(
+        model,
+        batches,
+        base_seed,
+        workers,
+        _guarded_batch,
+        lambda i: execute_batch(model, batches[i], base_seed, model.sampler),
+        start_method,
+        policy=policy,
+        on_result=on_result,
+        context="parallel D&C-GEN execution",
+    )
 
 
 def free_chunks(n: int, gen_batch: int = GEN_BATCH) -> list[tuple[int, int]]:
@@ -177,14 +249,55 @@ def free_chunks(n: int, gen_batch: int = GEN_BATCH) -> list[tuple[int, int]]:
     ]
 
 
+def execute_free_chunks_parallel(
+    model: "PagPassGPT",
+    chunks: Sequence[tuple[int, int]],
+    base_seed: int,
+    workers: int,
+    start_method: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
+    on_result: Optional[Callable[[int, object], None]] = None,
+) -> list[list[str]]:
+    """Run ``(chunk_index, rows)`` free-generation chunks on a pool.
+
+    Returns per-chunk guess lists in the order of ``chunks`` (which may
+    be a resumed run's pending subset).  Empty input returns ``[]``
+    without a pool.
+    """
+    def serial(i: int) -> list[str]:
+        chunk_index, rows = chunks[i]
+        return model._generate_free_batch(
+            rows, np.random.default_rng((base_seed, chunk_index))
+        )
+
+    return _run_pool(
+        model,
+        chunks,
+        base_seed,
+        workers,
+        _guarded_free,
+        serial,
+        start_method,
+        policy=policy,
+        on_result=on_result,
+        context="parallel free generation",
+    )
+
+
 def generate_free_parallel(
     model: "PagPassGPT",
     n: int,
     base_seed: int,
     workers: int,
     start_method: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> list[str]:
-    """Free (trawling) generation with chunks sharded across a pool."""
-    chunks = free_chunks(n)
-    results = _run_pool(model, chunks, base_seed, workers, _run_free_chunk, start_method)
+    """Free (trawling) generation with chunks sharded across a pool.
+
+    ``n <= 0`` returns ``[]`` without spinning up a pool.
+    """
+    chunks = free_chunks(n) if n > 0 else []
+    results = execute_free_chunks_parallel(
+        model, chunks, base_seed, workers, start_method, policy=policy
+    )
     return [pw for chunk in results for pw in chunk]

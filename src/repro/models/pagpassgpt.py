@@ -16,13 +16,15 @@ Generation:
 from __future__ import annotations
 
 import warnings
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 import numpy as np
 
 from ..datasets.corpus import PasswordCorpus
 from ..generation.sampler import GEN_BATCH, SamplerConfig, sample_constrained, sample_masked
 from ..nn import GPT2Config, GPT2Inference, GPT2Model
+from ..runtime import RunJournal, maybe_fail
 from ..tokenizer.patterns import Pattern
 from ..tokenizer.tokenizer import PasswordTokenizer
 from ..training import TrainConfig, TrainHistory, Trainer
@@ -69,8 +71,15 @@ class PagPassGPT(PatternGuidedGuesser):
         corpus: PasswordCorpus,
         val_passwords: Optional[list[str]] = None,
         log_fn=None,
+        checkpoint_path=None,
+        resume_from=None,
     ) -> "PagPassGPT":
-        """Train on rules built from ``corpus``; records its S_p for D&C-GEN."""
+        """Train on rules built from ``corpus``; records its S_p for D&C-GEN.
+
+        ``checkpoint_path`` enables per-epoch crash-safe training state;
+        ``resume_from`` continues an interrupted run from such a state
+        file (see :meth:`repro.training.Trainer.fit`).
+        """
         train_ids = self.tokenizer.encode_corpus(corpus.passwords)
         val_ids = (
             self.tokenizer.encode_corpus(val_passwords) if val_passwords else None
@@ -79,7 +88,10 @@ class PagPassGPT(PatternGuidedGuesser):
             self.model, pad_id=self.tokenizer.vocab.pad_id,
             config=self.train_config, log_fn=log_fn,
         )
-        self.history = trainer.fit(train_ids, val_ids)
+        self.history = trainer.fit(
+            train_ids, val_ids,
+            checkpoint_path=checkpoint_path, resume_from=resume_from,
+        )
         self.pattern_probs = dict(corpus.pattern_probs)
         self._fitted = True
         self._inference = None
@@ -124,16 +136,16 @@ class PagPassGPT(PatternGuidedGuesser):
 
     @classmethod
     def load(cls, path) -> "PagPassGPT":
-        """Rebuild a fitted model from :meth:`save` output."""
-        import numpy as _np
+        """Rebuild a fitted model from :meth:`save` output.
 
-        from ..nn import load_checkpoint
+        Raises :class:`~repro.nn.CheckpointError` for truncated/corrupt
+        files and ``ValueError`` when the checkpoint holds another model
+        kind.
+        """
+        from ..nn import load_checkpoint, read_checkpoint_meta
 
         # Peek at the metadata first to build the right architecture.
-        import json as _json
-
-        with _np.load(path) as data:
-            meta = _json.loads(bytes(data["__meta_json__"]).decode())
+        meta = read_checkpoint_meta(path)
         if meta.get("kind") != cls.name:
             raise ValueError(f"checkpoint is a {meta.get('kind')!r} model, not {cls.name}")
         model = cls(model_config=GPT2Config(**meta["config"]))
@@ -191,7 +203,14 @@ class PagPassGPT(PatternGuidedGuesser):
     # ------------------------------------------------------------------
     # Free (trawling) generation
     # ------------------------------------------------------------------
-    def generate(self, n: int, seed: int = 0, workers: int = 1) -> list[str]:
+    def generate(
+        self,
+        n: int,
+        seed: int = 0,
+        workers: int = 1,
+        journal: Optional[Union[str, Path, RunJournal]] = None,
+        resume: bool = False,
+    ) -> list[str]:
         """Trawling approach 1: feed only ``<BOS>``, model writes the rest.
 
         Decoding is *grammar-constrained* to the training rule format
@@ -205,32 +224,73 @@ class PagPassGPT(PatternGuidedGuesser):
 
         Each ``GEN_BATCH`` chunk draws its randomness from
         ``(seed, chunk_index)``, so the stream is identical for any
-        ``workers`` count; ``workers > 1`` shards chunks across a process
-        pool (:mod:`repro.generation.parallel`) and falls back to the
-        serial loop with a warning if the pool fails.
+        ``workers`` count; ``workers > 1`` shards chunks across a
+        supervised process pool (:mod:`repro.generation.parallel`) where
+        a failed or hung chunk is retried without discarding completed
+        ones.  ``journal`` (path or open :class:`RunJournal`) makes the
+        run resumable: with ``resume=True`` journaled chunks are reused
+        and the merged stream is byte-identical to an uninterrupted run.
         """
         self._require_fitted(self._fitted)
         if n <= 0:
             return []
-        from ..generation.parallel import free_chunks, generate_free_parallel
+        from ..generation.parallel import execute_free_chunks_parallel, free_chunks
 
         chunks = free_chunks(n)
-        if workers > 1 and len(chunks) > 1:
-            try:
-                return generate_free_parallel(self, n, seed, workers)
-            except Exception as exc:
-                warnings.warn(
-                    f"parallel free generation failed ({exc!r}); "
-                    "falling back to serial execution",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-        out: list[str] = []
-        for index, batch in chunks:
-            out.extend(
-                self._generate_free_batch(batch, np.random.default_rng((seed, index)))
-            )
-        return out
+        owns_journal = False
+        if journal is not None and not isinstance(journal, RunJournal):
+            header = {"kind": "free", "seed": int(seed), "n": int(n),
+                      "gen_batch": int(GEN_BATCH), "n_chunks": len(chunks)}
+            journal = RunJournal.attach(journal, header, resume=resume)
+            owns_journal = True
+        try:
+            results: dict[int, list[str]] = {}
+            if journal is not None:
+                for index, payload in journal.completed("free_chunk").items():
+                    if 0 <= index < len(chunks):
+                        results[index] = list(payload["guesses"])
+            pending = [c for c in chunks if c[0] not in results]
+
+            def on_result(position: int, value: list[str]) -> None:
+                chunk_index = pending[position][0]
+                maybe_fail("free_chunk")
+                if journal is not None:
+                    journal.record("free_chunk", chunk_index, {"guesses": list(value)})
+                results[chunk_index] = value
+
+            if workers > 1 and len(pending) > 1:
+                try:
+                    execute_free_chunks_parallel(
+                        self, pending, seed, workers, on_result=on_result
+                    )
+                except Exception as exc:
+                    warnings.warn(
+                        f"parallel free generation failed ({exc!r}); "
+                        "falling back to serial execution",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    for position, (index, batch) in enumerate(pending):
+                        if index in results:
+                            continue  # journaled before the failure
+                        on_result(
+                            position,
+                            self._generate_free_batch(
+                                batch, np.random.default_rng((seed, index))
+                            ),
+                        )
+            else:
+                for position, (index, batch) in enumerate(pending):
+                    on_result(
+                        position,
+                        self._generate_free_batch(
+                            batch, np.random.default_rng((seed, index))
+                        ),
+                    )
+            return [pw for index, _ in chunks for pw in results[index]]
+        finally:
+            if owns_journal:
+                journal.close()
 
     def _generate_free_batch(self, batch: int, rng: np.random.Generator) -> list[str]:
         tokenizer = self.tokenizer

@@ -56,6 +56,8 @@ class PassGPT(PatternGuidedGuesser):
         corpus: PasswordCorpus,
         val_passwords: Optional[list[str]] = None,
         log_fn=None,
+        checkpoint_path=None,
+        resume_from=None,
     ) -> "PassGPT":
         train_ids = self.tokenizer.encode_corpus(corpus.passwords)
         val_ids = (
@@ -65,7 +67,10 @@ class PassGPT(PatternGuidedGuesser):
             self.model, pad_id=self.tokenizer.vocab.pad_id,
             config=self.train_config, log_fn=log_fn,
         )
-        self.history = trainer.fit(train_ids, val_ids)
+        self.history = trainer.fit(
+            train_ids, val_ids,
+            checkpoint_path=checkpoint_path, resume_from=resume_from,
+        )
         self._fitted = True
         self._inference = None
         return self
@@ -98,16 +103,14 @@ class PassGPT(PatternGuidedGuesser):
 
     @classmethod
     def load(cls, path) -> "PassGPT":
-        """Rebuild a fitted model from :meth:`save` output."""
-        import numpy as _np
+        """Rebuild a fitted model from :meth:`save` output.
 
-        from ..nn import load_checkpoint
+        Raises :class:`repro.nn.CheckpointError` on a missing, truncated,
+        or otherwise unreadable checkpoint file.
+        """
+        from ..nn import load_checkpoint, read_checkpoint_meta
 
-        # Peek at the metadata first to build the right architecture.
-        import json as _json
-
-        with _np.load(path) as data:
-            meta = _json.loads(bytes(data["__meta_json__"]).decode())
+        meta = read_checkpoint_meta(path)
         if meta.get("kind") != cls.name:
             raise ValueError(f"checkpoint is a {meta.get('kind')!r} model, not {cls.name}")
         model = cls(model_config=GPT2Config(**meta["config"]))

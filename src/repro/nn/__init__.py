@@ -7,7 +7,7 @@ from .transformer import GPT2Config, GPT2Model, TransformerBlock
 from .inference import GPT2Inference, KVCache
 from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
 from .schedules import LRSchedule, WarmupCosine, WarmupLinear
-from .serialization import save_checkpoint, load_checkpoint
+from .serialization import CheckpointError, read_checkpoint_meta, save_checkpoint, load_checkpoint
 
 __all__ = [
     "Module",
@@ -33,6 +33,8 @@ __all__ = [
     "LRSchedule",
     "WarmupCosine",
     "WarmupLinear",
+    "CheckpointError",
+    "read_checkpoint_meta",
     "save_checkpoint",
     "load_checkpoint",
 ]

@@ -1,0 +1,44 @@
+"""Fault-tolerant runtime: atomic writes, run journals, retry, faults.
+
+The paper's real workloads run for days (25 GPU-hours of training, up to
+10^9 guesses per D&C-GEN campaign); this package makes that work durable:
+
+* :mod:`~repro.runtime.atomic` — crash-safe file replacement, used by
+  every checkpoint and output writer;
+* :mod:`~repro.runtime.journal` — append-only JSONL journals that let an
+  interrupted campaign resume byte-identically;
+* :mod:`~repro.runtime.retry` — bounded retry/backoff plus supervised
+  pool execution where one bad worker costs only its own shards;
+* :mod:`~repro.runtime.faults` — injection hooks (crash / hang /
+  corrupt) that the fault-tolerance tests drive.
+"""
+
+from .atomic import atomic_write, atomic_write_bytes, atomic_write_text
+from .faults import (
+    FAULT_ENV,
+    FAULT_STATE_ENV,
+    InjectedFault,
+    corrupt_file,
+    maybe_corrupt,
+    maybe_fail,
+)
+from .journal import JournalError, RunJournal, file_digest
+from .retry import RetryPolicy, retry_call, supervised_map
+
+__all__ = [
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "FAULT_ENV",
+    "FAULT_STATE_ENV",
+    "InjectedFault",
+    "corrupt_file",
+    "maybe_corrupt",
+    "maybe_fail",
+    "JournalError",
+    "RunJournal",
+    "file_digest",
+    "RetryPolicy",
+    "retry_call",
+    "supervised_map",
+]

@@ -1,0 +1,69 @@
+"""Crash-safe file writes: temp file + fsync + ``os.replace``.
+
+Every durable artifact this codebase writes — model checkpoints, trainer
+state, guess files — goes through :func:`atomic_write`, so an interrupted
+process can never leave a truncated file at the destination path.  The
+destination either holds its previous content or the complete new
+content, never a torn write.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+
+@contextmanager
+def atomic_write(path: str | Path, mode: str = "wb") -> Iterator[IO]:
+    """Context manager yielding a file object that atomically replaces ``path``.
+
+    The data is written to a uniquely-named sibling temp file, flushed and
+    fsynced, then moved onto ``path`` with ``os.replace`` (atomic on POSIX
+    for same-filesystem renames — the temp file lives next to the target
+    to guarantee that).  If the block raises, the temp file is removed and
+    the target is left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, mode) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path.parent)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush the directory entry so the rename itself survives a crash."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # e.g. filesystems that refuse opening directories
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``."""
+    with atomic_write(path, "wb") as fh:
+        fh.write(data)
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``text``."""
+    atomic_write_bytes(path, text.encode(encoding))

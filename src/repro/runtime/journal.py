@@ -1,0 +1,173 @@
+"""Append-only JSONL run journal: the unit of crash-safe progress.
+
+A journal records one line per completed unit of work — a D&C-GEN leaf
+batch, a free-generation chunk, a training epoch — keyed by a stable
+``task_id`` and guarded by a content digest.  An interrupted run resumes
+by reopening its journal, skipping every journaled task, and re-executing
+only the rest; because every task draws its randomness from
+``(base_seed, task_id)``, the merged result is byte-identical to an
+uninterrupted run.
+
+File format (one JSON object per line)::
+
+    {"kind": "header", "format": 1, "payload": {...run identity...}, "digest": "…"}
+    {"kind": "leaf_batch", "task_id": 0, "payload": {...}, "digest": "…"}
+    ...
+
+Records are flushed and fsynced as they are appended.  On open, reading
+stops at the first unparsable or digest-mismatched line (the torn tail a
+crash mid-append can leave); everything before it is trusted, everything
+after it is discarded and will be recomputed.
+
+The header pins the run's identity (seed, totals, a digest of the task
+plan).  Resuming against a journal whose header differs raises
+:class:`JournalError` — silently merging two different runs would corrupt
+the output.  Worker count is deliberately *not* part of the identity: a
+campaign may crash on 4 workers and resume on 1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+FORMAT_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """Raised for unusable journals: bad header, or header/run mismatch."""
+
+
+def _digest(obj: Any) -> str:
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def file_digest(path: str | Path) -> str:
+    """Short sha256 digest of a file's bytes (journaled with checkpoints)."""
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()[:16]
+
+
+class RunJournal:
+    """One run's append-only journal. Use :meth:`attach` / :meth:`open`."""
+
+    def __init__(self, path: Path, header: dict, records: dict, recovered: int) -> None:
+        self.path = path
+        #: Run-identity dict written as the first line.
+        self.header = header
+        #: Lines dropped on open because of a torn/corrupt tail.
+        self.recovered_tail = recovered
+        self._records: dict[tuple[str, int], Any] = records
+        self._fh = open(path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: str | Path, header: dict) -> "RunJournal":
+        """Start a fresh journal at ``path`` (truncates any existing file)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        line = cls._encode({"kind": "header", "format": FORMAT_VERSION, "payload": header})
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return cls(path, header, {}, recovered=0)
+
+    @classmethod
+    def open(cls, path: str | Path) -> "RunJournal":
+        """Reopen an existing journal, recovering a torn tail if present."""
+        path = Path(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        header: Optional[dict] = None
+        records: dict[tuple[str, int], Any] = {}
+        good = 0
+        for line in lines:
+            rec = cls._decode(line)
+            if rec is None:
+                break  # torn/corrupt tail: trust nothing from here on
+            if good == 0:
+                if rec.get("kind") != "header" or rec.get("format") != FORMAT_VERSION:
+                    raise JournalError(f"{path} does not start with a format-{FORMAT_VERSION} header")
+                header = rec["payload"]
+            else:
+                records[(rec["kind"], int(rec["task_id"]))] = rec["payload"]
+            good += 1
+        if header is None:
+            raise JournalError(f"{path} has no readable header")
+        return cls(path, header, records, recovered=len(lines) - good)
+
+    @classmethod
+    def attach(cls, path: str | Path, header: dict, resume: bool = False) -> "RunJournal":
+        """Open-and-validate when resuming, otherwise start fresh.
+
+        On resume the stored header must equal ``header`` exactly; a
+        mismatch means the journal belongs to a different run.
+        """
+        path = Path(path)
+        if resume and path.exists():
+            journal = cls.open(path)
+            if journal.header != header:
+                journal.close()
+                raise JournalError(
+                    f"cannot resume from {path}: journal header {journal.header!r} "
+                    f"does not match this run {header!r}"
+                )
+            return journal
+        return cls.create(path, header)
+
+    # ------------------------------------------------------------------
+    # Record I/O
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode(rec: dict) -> str:
+        rec = dict(rec)
+        rec["digest"] = _digest([rec.get("kind"), rec.get("task_id"), rec.get("payload")])
+        return json.dumps(rec, sort_keys=True, separators=(",", ":")) + "\n"
+
+    @staticmethod
+    def _decode(line: str) -> Optional[dict]:
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(rec, dict):
+            return None
+        expected = _digest([rec.get("kind"), rec.get("task_id"), rec.get("payload")])
+        if rec.get("digest") != expected:
+            return None
+        return rec
+
+    def record(self, kind: str, task_id: int, payload: Any) -> None:
+        """Append one completed task; durable once this returns."""
+        self._fh.write(self._encode({"kind": kind, "task_id": int(task_id), "payload": payload}))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._records[(kind, int(task_id))] = payload
+
+    def completed(self, kind: str) -> dict[int, Any]:
+        """``task_id -> payload`` for every journaled task of ``kind``."""
+        return {tid: payload for (k, tid), payload in self._records.items() if k == kind}
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def remove(self) -> None:
+        """Close and delete the journal file (call after a successful run)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

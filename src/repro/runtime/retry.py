@@ -1,0 +1,162 @@
+"""Bounded retry with exponential backoff and pool-task supervision.
+
+Two layers:
+
+* :func:`retry_call` — the generic primitive: call a function, retry
+  transient failures with capped exponential backoff.
+* :func:`supervised_map` — fault-tolerant replacement for ``pool.map``:
+  tasks are streamed through ``imap_unordered`` with a pending-task
+  tracker, so one failed or hung task costs only its own re-execution.
+  Completed results are **never** discarded.  A task that keeps failing
+  after ``max_retries`` resubmissions runs serially in the parent as a
+  last resort (with a ``RuntimeWarning``), so the run still completes.
+
+A hung worker is detected by ``task_timeout``: when no result arrives in
+time the pool is terminated (the only way to reclaim a wedged worker
+process) and every still-pending task is resubmitted to a fresh pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before giving a task up to the serial fallback.
+
+    ``max_retries`` counts *re*-submissions (0 = single attempt).
+    Backoff before retry round ``r`` (1-based) is
+    ``min(backoff_max, backoff_base * backoff_factor**(r-1))`` — no
+    jitter, so test runs stay deterministic.  ``task_timeout`` is the
+    per-result wait in seconds; ``None`` waits forever (no hang
+    detection).
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    task_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive or None")
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before retry round ``attempt`` (1-based)."""
+        return min(self.backoff_max, self.backoff_base * self.backoff_factor ** (attempt - 1))
+
+
+def retry_call(
+    fn: Callable[[], Any],
+    policy: RetryPolicy = RetryPolicy(),
+    retryable: tuple[type[BaseException], ...] = (Exception,),
+    on_error: Optional[Callable[[int, BaseException], None]] = None,
+) -> Any:
+    """Call ``fn`` with bounded retry; re-raises the last error when spent."""
+    for attempt in range(policy.max_retries + 1):
+        try:
+            return fn()
+        except retryable as exc:
+            if on_error is not None:
+                on_error(attempt, exc)
+            if attempt == policy.max_retries:
+                raise
+            time.sleep(policy.backoff(attempt + 1))
+
+
+def supervised_map(
+    pool_factory: Callable[[], Any],
+    guarded: Callable[[int], tuple[int, bool, Any]],
+    n_tasks: int,
+    policy: RetryPolicy = RetryPolicy(),
+    serial_fn: Optional[Callable[[int], Any]] = None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+    context: str = "parallel execution",
+) -> list:
+    """Fault-tolerant ``pool.map`` over task indices ``0..n_tasks-1``.
+
+    ``guarded`` runs in the workers and must return ``(index, ok,
+    value_or_error)`` instead of raising — that keeps per-task failures
+    attributable.  ``on_result`` fires in the parent exactly once per
+    task, as results arrive (unordered); journal writers hook in here so
+    completed work is durable the moment it exists.  ``serial_fn`` is the
+    in-parent last resort for tasks whose retries are exhausted.
+
+    Returns results ordered by task index.
+    """
+    results: dict[int, Any] = {}
+    pending = set(range(n_tasks))
+    last_error: dict[int, str] = {}
+    pool = None
+
+    def deliver(index: int, value: Any) -> None:
+        pending.discard(index)
+        results[index] = value
+        if on_result is not None:
+            on_result(index, value)
+
+    try:
+        for attempt in range(policy.max_retries + 1):
+            if not pending:
+                break
+            if attempt:
+                time.sleep(policy.backoff(attempt))
+            if pool is None:
+                pool = pool_factory()
+            submit = sorted(pending)
+            stream = pool.imap_unordered(guarded, submit)
+            timed_out = False
+            for _ in submit:
+                try:
+                    if policy.task_timeout is None:
+                        index, ok, value = next(stream)
+                    else:
+                        index, ok, value = stream.next(policy.task_timeout)
+                except mp.TimeoutError:
+                    timed_out = True
+                    break
+                if ok:
+                    deliver(index, value)
+                else:
+                    last_error[index] = value
+            if timed_out:
+                # A wedged worker can only be reclaimed by killing the
+                # pool; completed results are already delivered, only
+                # pending tasks go around again.
+                pool.terminate()
+                pool.join()
+                pool = None
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    if pending:
+        if serial_fn is None:
+            raise RuntimeError(
+                f"{context}: {len(pending)} task(s) failed after "
+                f"{policy.max_retries + 1} attempt(s): {sorted(pending)}"
+            )
+        causes = "; ".join(
+            f"task {i}: {last_error.get(i, 'timed out')}" for i in sorted(pending)[:3]
+        )
+        warnings.warn(
+            f"{context}: {len(pending)} task(s) failed after "
+            f"{policy.max_retries + 1} attempt(s) ({causes}); "
+            "falling back to serial execution for those tasks",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        for index in sorted(pending):
+            deliver(index, serial_fn(index))
+    return [results[i] for i in range(n_tasks)]

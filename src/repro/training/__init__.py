@@ -1,6 +1,19 @@
 """Training infrastructure (dataloader + LM trainer)."""
 
 from .dataloader import BatchLoader
-from .trainer import TrainConfig, TrainHistory, Trainer
+from .trainer import (
+    TrainConfig,
+    TrainHistory,
+    Trainer,
+    load_training_state,
+    save_training_state,
+)
 
-__all__ = ["BatchLoader", "TrainConfig", "TrainHistory", "Trainer"]
+__all__ = [
+    "BatchLoader",
+    "TrainConfig",
+    "TrainHistory",
+    "Trainer",
+    "load_training_state",
+    "save_training_state",
+]

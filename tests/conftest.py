@@ -12,7 +12,18 @@ import pytest
 from repro.datasets import build_corpus, clean_leak, generate_leak, split_dataset
 from repro.models import PagPassGPT, PassGPT
 from repro.nn import GPT2Config
+from repro.runtime import faults
 from repro.training import TrainConfig
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults(monkeypatch):
+    """No fault directive leaks between tests; counters start fresh."""
+    monkeypatch.delenv(faults.FAULT_ENV, raising=False)
+    monkeypatch.delenv(faults.FAULT_STATE_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
 
 
 @pytest.fixture(scope="session")

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import main
+from repro.runtime import FAULT_ENV, InjectedFault, corrupt_file
 
 
 @pytest.fixture(scope="module")
@@ -115,3 +116,94 @@ class TestModelCommands:
         ]) == 0
         assert main(["generate", "--checkpoint", str(ckpt), "-n", "10",
                      "--dcgen", "--out", str(pipeline / "x.txt")]) == 2
+
+
+class TestFaultTolerance:
+    """Crash -> --resume flows, driven in-process through the CLI."""
+
+    def test_generate_crash_then_resume_matches_clean(
+        self, pipeline, tmp_path, monkeypatch
+    ):
+        checkpoint = pipeline / "model.npz"
+        if not checkpoint.exists():
+            assert main([
+                "train", "--input", str(pipeline / "data.train.txt"),
+                "--out", str(checkpoint),
+                "--dim", "32", "--layers", "1", "--heads", "2",
+                "--epochs", "1", "--batch-size", "128",
+            ]) == 0
+        clean = tmp_path / "clean.txt"
+        common = ["generate", "--checkpoint", str(checkpoint),
+                  "-n", "1200", "--dcgen", "--threshold", "32", "--seed", "9"]
+        assert main(common + ["--out", str(clean)]) == 0
+
+        out = tmp_path / "resumed.txt"
+        journal = tmp_path / "run.jsonl"
+        monkeypatch.setenv(FAULT_ENV, "crash:leaf_batch:2")
+        with pytest.raises(InjectedFault):
+            main(common + ["--out", str(out), "--journal", str(journal)])
+        assert journal.exists()
+        assert not out.exists()  # output only lands on success (atomic)
+
+        monkeypatch.delenv(FAULT_ENV)
+        assert main(common + ["--out", str(out), "--journal", str(journal),
+                              "--resume"]) == 0
+        assert out.read_text() == clean.read_text()
+        assert not journal.exists()  # spent journal is cleaned up
+
+    def test_train_resume_matches_uninterrupted(self, pipeline, tmp_path, monkeypatch):
+        common = ["train", "--input", str(pipeline / "data.train.txt"),
+                  "--val", str(pipeline / "data.val.txt"),
+                  "--dim", "32", "--layers", "1", "--heads", "2",
+                  "--epochs", "3", "--batch-size", "128", "--seed", "4"]
+        clean_ckpt = tmp_path / "clean.npz"
+        assert main(common + ["--out", str(clean_ckpt)]) == 0
+
+        ckpt = tmp_path / "resumed.npz"
+        state = tmp_path / "resumed.npz.train-state.npz"
+        monkeypatch.setenv(FAULT_ENV, "crash:epoch:2")
+        with pytest.raises(InjectedFault):
+            main(common + ["--out", str(ckpt)])
+        assert state.exists()  # two epochs of durable progress
+
+        monkeypatch.delenv(FAULT_ENV)
+        assert main(common + ["--out", str(ckpt), "--resume"]) == 0
+        assert not state.exists()  # state removed after the campaign ends
+
+        # Resumed training converges to the identical checkpointed weights.
+        import numpy as np
+
+        from repro.models import PagPassGPT
+
+        clean_model = PagPassGPT.load(clean_ckpt)
+        resumed_model = PagPassGPT.load(ckpt)
+        for (name, p1), (_, p2) in zip(
+            clean_model.model.named_parameters(), resumed_model.model.named_parameters()
+        ):
+            assert np.array_equal(p1.data, p2.data), f"weight drift in {name}"
+
+    def test_resume_without_state_starts_fresh(self, pipeline, tmp_path, capsys):
+        ckpt = tmp_path / "fresh.npz"
+        assert main(["train", "--input", str(pipeline / "data.train.txt"),
+                     "--out", str(ckpt), "--dim", "32", "--layers", "1",
+                     "--heads", "2", "--epochs", "1", "--resume"]) == 0
+        assert "starting fresh" in capsys.readouterr().err
+        assert ckpt.exists()
+
+    def test_corrupt_checkpoint_exits_2(self, pipeline, tmp_path, capsys):
+        checkpoint = tmp_path / "bad.npz"
+        checkpoint.write_bytes(b"PK\x03\x04 definitely not a model")
+        assert main(["generate", "--checkpoint", str(checkpoint),
+                     "-n", "10", "--out", str(tmp_path / "x.txt")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_truncated_checkpoint_exits_2(self, pipeline, tmp_path, capsys):
+        source = pipeline / "model.npz"
+        if not source.exists():
+            pytest.skip("train fixture not built")
+        bad = tmp_path / "torn.npz"
+        bad.write_bytes(source.read_bytes())
+        corrupt_file(bad)
+        assert main(["generate", "--checkpoint", str(bad),
+                     "-n", "10", "--out", str(tmp_path / "x.txt")]) == 2
+        assert "error:" in capsys.readouterr().err

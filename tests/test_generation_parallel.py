@@ -24,9 +24,14 @@ from repro.generation import (
     build_batches,
     free_chunks,
 )
-from repro.generation.parallel import CRASH_ENV, execute_batches_parallel
+from repro.generation.parallel import (
+    CRASH_ENV,
+    execute_batches_parallel,
+    generate_free_parallel,
+)
 from repro.models import PagPassGPT
 from repro.nn import GPT2Config
+from repro.runtime import FAULT_ENV, FAULT_STATE_ENV, InjectedFault, RetryPolicy, RunJournal
 
 
 @pytest.fixture(scope="module")
@@ -209,3 +214,135 @@ class TestCrashFallback:
         with pytest.warns(RuntimeWarning, match="falling back to serial"):
             out = model.generate(1100, seed=2, workers=2)
         assert out == serial
+
+
+# ----------------------------------------------------------------------
+# Empty-input guards
+# ----------------------------------------------------------------------
+
+class TestEmptyInputs:
+    def test_execute_batches_parallel_empty(self, model):
+        assert execute_batches_parallel(model, [], 7, workers=2) == []
+
+    def test_generate_free_parallel_zero(self, model):
+        assert generate_free_parallel(model, 0, 7, workers=2) == []
+        assert generate_free_parallel(model, -5, 7, workers=2) == []
+
+    def test_model_generate_zero(self, model):
+        assert model.generate(0, seed=1, workers=2) == []
+
+    def test_dcgen_zero_total(self, model):
+        gen = DCGenerator(model, DCGenConfig(threshold=32, workers=2))
+        assert gen.generate(0, seed=1) == []
+
+
+# ----------------------------------------------------------------------
+# Per-task retry: one bad shard never costs the others (ISSUE 2)
+# ----------------------------------------------------------------------
+
+class TestPerTaskRetry:
+    def test_single_worker_failure_retries_only_failed_shard(
+        self, model, tmp_path, monkeypatch, recwarn
+    ):
+        gen = DCGenerator(model, DCGenConfig(threshold=32))
+        batches = build_batches(gen.plan(1200), gen.config.gen_batch)
+        assert len(batches) > 2
+        from repro.generation.dcgen import execute_batch
+
+        serial = [execute_batch(model, b, 7, model.sampler) for b in batches]
+
+        # One-shot crash of the worker running task 1: its retry succeeds.
+        monkeypatch.setenv(FAULT_ENV, "crash:worker:1")
+        monkeypatch.setenv(FAULT_STATE_ENV, str(tmp_path))
+        out = execute_batches_parallel(model, batches, 7, workers=2)
+
+        assert out == serial
+        # No degradation to the serial-fallback path...
+        assert not [w for w in recwarn if "falling back" in str(w.message)]
+        # ...and exactly one extra execution: the failed shard's retry.
+        calls = (tmp_path / "calls.log").read_text().splitlines()
+        worker_calls = [c for c in calls if c.startswith("worker:")]
+        assert len(worker_calls) == len(batches) + 1
+        assert worker_calls.count("worker:1") == 2
+
+    def test_hung_worker_is_killed_and_task_retried(self, model, tmp_path, monkeypatch):
+        gen = DCGenerator(model, DCGenConfig(threshold=32))
+        batches = build_batches(gen.plan(600), gen.config.gen_batch)
+        from repro.generation.dcgen import execute_batch
+
+        serial = [execute_batch(model, b, 7, model.sampler) for b in batches]
+
+        monkeypatch.setenv(FAULT_ENV, "hang:worker:0")
+        monkeypatch.setenv(FAULT_STATE_ENV, str(tmp_path))
+        policy = RetryPolicy(max_retries=2, backoff_base=0.0, task_timeout=3.0)
+        out = execute_batches_parallel(model, batches, 7, workers=2, policy=policy)
+        assert out == serial
+
+
+# ----------------------------------------------------------------------
+# Journaled crash -> resume, byte-identical stream (ISSUE 2 tentpole)
+# ----------------------------------------------------------------------
+
+class TestJournalResume:
+    TOTAL = 1200
+
+    def _clean(self, model):
+        return run(model, total=self.TOTAL)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_dcgen_crash_then_resume_is_byte_identical(
+        self, model, tmp_path, monkeypatch, workers
+    ):
+        clean_out, clean_stats = self._clean(model)
+        journal_path = tmp_path / "run.journal.jsonl"
+
+        monkeypatch.setenv(FAULT_ENV, "crash:leaf_batch:3")
+        gen = DCGenerator(model, DCGenConfig(threshold=32, workers=workers))
+        with pytest.raises(InjectedFault):
+            gen.generate(self.TOTAL, seed=7, journal=journal_path)
+
+        # Exactly the 3 pre-crash batches are journaled and survive.
+        journal = RunJournal.open(journal_path)
+        assert len(journal.completed("leaf_batch")) == 3
+        journal.close()
+
+        monkeypatch.delenv(FAULT_ENV)
+        resumed = DCGenerator(model, DCGenConfig(threshold=32, workers=workers))
+        out = resumed.generate(self.TOTAL, seed=7, journal=journal_path, resume=True)
+        assert out == clean_out
+        assert resumed.stats == clean_stats
+
+    def test_resume_with_different_run_identity_rejected(self, model, tmp_path, monkeypatch):
+        journal_path = tmp_path / "run.journal.jsonl"
+        monkeypatch.setenv(FAULT_ENV, "crash:leaf_batch:2")
+        gen = DCGenerator(model, DCGenConfig(threshold=32))
+        with pytest.raises(InjectedFault):
+            gen.generate(self.TOTAL, seed=7, journal=journal_path)
+        monkeypatch.delenv(FAULT_ENV)
+
+        from repro.runtime import JournalError
+
+        with pytest.raises(JournalError, match="does not match"):
+            gen.generate(self.TOTAL, seed=8, journal=journal_path, resume=True)
+
+    def test_free_generation_crash_then_resume(self, model, tmp_path, monkeypatch):
+        clean = model.generate(1200, seed=11)  # 3 chunks of GEN_BATCH=512
+        journal_path = tmp_path / "free.journal.jsonl"
+
+        monkeypatch.setenv(FAULT_ENV, "crash:free_chunk:1")
+        with pytest.raises(InjectedFault):
+            model.generate(1200, seed=11, journal=journal_path)
+
+        journal = RunJournal.open(journal_path)
+        assert len(journal.completed("free_chunk")) == 1
+        journal.close()
+
+        monkeypatch.delenv(FAULT_ENV)
+        assert model.generate(1200, seed=11, journal=journal_path, resume=True) == clean
+
+    def test_journal_on_clean_run_is_harmless(self, model, tmp_path):
+        clean_out, _ = self._clean(model)
+        journal_path = tmp_path / "run.journal.jsonl"
+        gen = DCGenerator(model, DCGenConfig(threshold=32))
+        assert gen.generate(self.TOTAL, seed=7, journal=journal_path) == clean_out
+        assert journal_path.exists()  # caller decides when to discard

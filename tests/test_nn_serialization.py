@@ -1,9 +1,17 @@
-"""Checkpoint save/load tests."""
+"""Checkpoint save/load tests, including damage and atomicity cases."""
 
 import numpy as np
 import pytest
 
-from repro.nn import GPT2Config, GPT2Model, load_checkpoint, save_checkpoint
+from repro.nn import (
+    CheckpointError,
+    GPT2Config,
+    GPT2Model,
+    load_checkpoint,
+    read_checkpoint_meta,
+    save_checkpoint,
+)
+from repro.runtime import corrupt_file
 
 
 def small_model(seed=0):
@@ -30,6 +38,7 @@ class TestCheckpoint:
         save_checkpoint(m, path, meta=meta)
         loaded = load_checkpoint(small_model(), path)
         assert loaded == meta
+        assert read_checkpoint_meta(path) == meta
 
     def test_empty_metadata_default(self, tmp_path):
         m = small_model()
@@ -61,5 +70,41 @@ class TestCheckpoint:
         other = GPT2Model(
             GPT2Config(vocab_size=15, block_size=8, dim=16, n_layers=2, n_heads=2, dropout=0.0)
         )
-        with pytest.raises(KeyError):
+        with pytest.raises(CheckpointError, match="does not match"):
             load_checkpoint(other, path)
+
+
+class TestCheckpointDamage:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(small_model(), tmp_path / "nope.npz")
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(small_model(), path)
+        corrupt_file(path, keep_fraction=0.5)
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            load_checkpoint(small_model(), path)
+
+    def test_garbage_file_raises(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        path.write_bytes(b"not an npz archive at all")
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            load_checkpoint(small_model(), path)
+
+    def test_failed_save_leaves_previous_checkpoint(self, tmp_path, monkeypatch):
+        path = tmp_path / "ckpt.npz"
+        m = small_model(seed=1)
+        save_checkpoint(m, path, meta={"epoch": 1})
+        before = path.read_bytes()
+
+        import repro.nn.serialization as ser
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full (injected)")
+
+        monkeypatch.setattr(ser.np, "savez_compressed", boom)
+        with pytest.raises(OSError):
+            save_checkpoint(m, path, meta={"epoch": 2})
+        assert path.read_bytes() == before  # old checkpoint intact
+        assert not list(tmp_path.glob("*.tmp"))  # temp file cleaned up

@@ -1,0 +1,53 @@
+"""Atomic write primitive: all-or-nothing file replacement."""
+
+import pytest
+
+from repro.runtime import atomic_write, atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_roundtrip_bytes(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"\x00\x01payload")
+        assert path.read_bytes() == b"\x00\x01payload"
+
+    def test_roundtrip_text(self, tmp_path):
+        path = tmp_path / "guesses.txt"
+        atomic_write_text(path, "password1\nletmein\n")
+        assert path.read_text() == "password1\nletmein\n"
+
+    def test_replaces_existing_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "a" / "b" / "c.txt"
+        atomic_write_text(path, "deep")
+        assert path.read_text() == "deep"
+
+    def test_failure_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "survivor")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path, "w") as fh:
+                fh.write("half a wri")
+                raise RuntimeError("crash mid-write")
+        assert path.read_text() == "survivor"
+
+    def test_failure_cleans_up_temp_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_write(path, "w") as fh:
+                fh.write("x")
+                raise RuntimeError("boom")
+        assert list(tmp_path.iterdir()) == []  # no temp litter, no target
+
+    def test_no_partial_target_on_first_write_failure(self, tmp_path):
+        path = tmp_path / "fresh.txt"
+        with pytest.raises(ValueError):
+            with atomic_write(path, "w") as fh:
+                fh.write("partial")
+                raise ValueError("interrupted")
+        assert not path.exists()

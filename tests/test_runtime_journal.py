@@ -1,0 +1,121 @@
+"""Run-journal format, torn-tail recovery, and resume identity checks."""
+
+import json
+
+import pytest
+
+from repro.runtime import JournalError, RunJournal, file_digest
+
+HEADER = {"kind": "dcgen", "seed": 7, "total": 100, "plan": "abc123"}
+
+
+def make_journal(path, n_records=3):
+    journal = RunJournal.create(path, HEADER)
+    for i in range(n_records):
+        journal.record("leaf_batch", i, {"guesses": [f"pw{i}"], "model_calls": i})
+    journal.close()
+    return path
+
+
+class TestRoundtrip:
+    def test_create_record_reopen(self, tmp_path):
+        path = make_journal(tmp_path / "run.jsonl")
+        journal = RunJournal.open(path)
+        assert journal.header == HEADER
+        assert journal.recovered_tail == 0
+        done = journal.completed("leaf_batch")
+        assert set(done) == {0, 1, 2}
+        assert done[1] == {"guesses": ["pw1"], "model_calls": 1}
+        journal.close()
+
+    def test_kinds_are_separate(self, tmp_path):
+        journal = RunJournal.create(tmp_path / "run.jsonl", HEADER)
+        journal.record("leaf_batch", 0, {"a": 1})
+        journal.record("epoch", 0, {"b": 2})
+        assert journal.completed("leaf_batch") == {0: {"a": 1}}
+        assert journal.completed("epoch") == {0: {"b": 2}}
+        journal.close()
+
+    def test_create_truncates_previous_run(self, tmp_path):
+        path = make_journal(tmp_path / "run.jsonl")
+        journal = RunJournal.create(path, HEADER)
+        assert journal.completed("leaf_batch") == {}
+        journal.close()
+
+    def test_remove_deletes_file(self, tmp_path):
+        path = make_journal(tmp_path / "run.jsonl")
+        journal = RunJournal.open(path)
+        journal.remove()
+        assert not path.exists()
+
+
+class TestTornTail:
+    def test_partial_last_line_is_dropped(self, tmp_path):
+        path = make_journal(tmp_path / "run.jsonl")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "leaf_batch", "task_id": 3, "payl')  # torn append
+        journal = RunJournal.open(path)
+        assert set(journal.completed("leaf_batch")) == {0, 1, 2}
+        assert journal.recovered_tail == 1
+        journal.close()
+
+    def test_digest_mismatch_stops_reading(self, tmp_path):
+        path = make_journal(tmp_path / "run.jsonl")
+        lines = path.read_text().splitlines()
+        tampered = json.loads(lines[2])
+        tampered["payload"]["guesses"] = ["evil"]  # digest no longer matches
+        lines[2] = json.dumps(tampered)
+        path.write_text("\n".join(lines) + "\n")
+        journal = RunJournal.open(path)
+        # Record 0 (line 1) is still trusted; the tampered line and
+        # everything after it are recomputed.
+        assert set(journal.completed("leaf_batch")) == {0}
+        assert journal.recovered_tail == 2
+        journal.close()
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"not": "a header"}\n')
+        with pytest.raises(JournalError):
+            RunJournal.open(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("")
+        with pytest.raises(JournalError, match="no readable header"):
+            RunJournal.open(path)
+
+
+class TestAttach:
+    def test_resume_reuses_matching_journal(self, tmp_path):
+        path = make_journal(tmp_path / "run.jsonl")
+        journal = RunJournal.attach(path, HEADER, resume=True)
+        assert set(journal.completed("leaf_batch")) == {0, 1, 2}
+        journal.close()
+
+    def test_resume_header_mismatch_raises(self, tmp_path):
+        path = make_journal(tmp_path / "run.jsonl")
+        other = dict(HEADER, seed=8)
+        with pytest.raises(JournalError, match="does not match"):
+            RunJournal.attach(path, other, resume=True)
+
+    def test_resume_without_file_starts_fresh(self, tmp_path):
+        journal = RunJournal.attach(tmp_path / "new.jsonl", HEADER, resume=True)
+        assert journal.completed("leaf_batch") == {}
+        journal.close()
+
+    def test_no_resume_truncates(self, tmp_path):
+        path = make_journal(tmp_path / "run.jsonl")
+        journal = RunJournal.attach(path, HEADER, resume=False)
+        assert journal.completed("leaf_batch") == {}
+        journal.close()
+
+
+class TestFileDigest:
+    def test_digest_changes_with_content(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.write_bytes(b"one")
+        b.write_bytes(b"two")
+        assert file_digest(a) != file_digest(b)
+        b.write_bytes(b"one")
+        assert file_digest(a) == file_digest(b)

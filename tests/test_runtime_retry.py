@@ -1,0 +1,183 @@
+"""Retry primitive and supervised pool map (tested with in-process fakes)."""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.runtime import RetryPolicy, retry_call, supervised_map
+
+FAST = RetryPolicy(max_retries=2, backoff_base=0.0, backoff_max=0.0)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.3)  # capped
+        assert policy.backoff(10) == pytest.approx(0.3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_base": -0.1},
+            {"task_timeout": 0},
+            {"task_timeout": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetryCall:
+    def test_transient_failure_recovers(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        assert retry_call(flaky, FAST) == "ok"
+        assert len(calls) == 3
+
+    def test_permanent_failure_reraises(self):
+        errors = []
+
+        def doomed():
+            raise OSError("permanent")
+
+        with pytest.raises(OSError, match="permanent"):
+            retry_call(doomed, FAST, on_error=lambda a, e: errors.append(a))
+        assert errors == [0, 1, 2]  # max_retries + 1 attempts
+
+    def test_non_retryable_raises_immediately(self):
+        calls = []
+
+        def typed():
+            calls.append(1)
+            raise KeyError("nope")
+
+        with pytest.raises(KeyError):
+            retry_call(typed, FAST, retryable=(OSError,))
+        assert len(calls) == 1
+
+
+class FakePool:
+    """In-process stand-in for ``mp.Pool``: runs tasks eagerly, in order."""
+
+    def __init__(self, log):
+        self.log = log
+        self.terminated = False
+
+    def imap_unordered(self, fn, indices):
+        return _FakeStream([fn(i) for i in indices])
+
+    def terminate(self):
+        self.terminated = True
+
+    def join(self):
+        pass
+
+
+class _FakeStream:
+    def __init__(self, items, hang_at=None):
+        self._items = list(items)
+        self._hang_at = hang_at
+        self._pos = 0
+
+    def __next__(self):
+        if self._pos >= len(self._items):
+            raise StopIteration
+        item = self._items[self._pos]
+        self._pos += 1
+        return item
+
+    def next(self, timeout=None):
+        if self._hang_at is not None and self._pos == self._hang_at:
+            self._hang_at = None
+            raise mp.TimeoutError
+        return self.__next__()
+
+
+class TestSupervisedMap:
+    def test_all_success_ordered(self):
+        pools = []
+        delivered = []
+        guarded = lambda i: (i, True, i * 10)  # noqa: E731
+        out = supervised_map(
+            lambda: pools.append(FakePool(None)) or pools[-1],
+            guarded,
+            4,
+            policy=FAST,
+            on_result=lambda i, v: delivered.append(i),
+        )
+        assert out == [0, 10, 20, 30]
+        assert sorted(delivered) == [0, 1, 2, 3]
+        assert len(pools) == 1
+
+    def test_transient_failure_retries_only_failed_task(self):
+        attempts = {i: 0 for i in range(4)}
+
+        def guarded(i):
+            attempts[i] += 1
+            if i == 2 and attempts[i] == 1:
+                return (i, False, "OSError: flaky shard")
+            return (i, True, i)
+
+        out = supervised_map(lambda: FakePool(None), guarded, 4, policy=FAST)
+        assert out == [0, 1, 2, 3]
+        assert attempts == {0: 1, 1: 1, 2: 2, 3: 1}  # only task 2 re-ran
+
+    def test_permanent_failure_falls_back_to_serial(self):
+        serial_calls = []
+
+        def guarded(i):
+            if i == 1:
+                return (i, False, "RuntimeError: cursed shard")
+            return (i, True, i)
+
+        def serial(i):
+            serial_calls.append(i)
+            return i
+
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            out = supervised_map(
+                lambda: FakePool(None), guarded, 3, policy=FAST, serial_fn=serial
+            )
+        assert out == [0, 1, 2]
+        assert serial_calls == [1]  # completed tasks never re-run
+
+    def test_permanent_failure_without_serial_raises(self):
+        guarded = lambda i: (i, False, "always broken")  # noqa: E731
+        with pytest.raises(RuntimeError, match="failed after"):
+            supervised_map(lambda: FakePool(None), guarded, 2, policy=FAST)
+
+    def test_hang_kills_pool_and_retries_pending(self):
+        pools = []
+
+        class HangOncePool(FakePool):
+            def imap_unordered(self, fn, indices):
+                results = [fn(i) for i in indices]
+                # First pool wedges after delivering one result.
+                hang_at = 1 if len(pools) == 1 else None
+                return _FakeStream(results, hang_at=hang_at)
+
+        def factory():
+            pools.append(HangOncePool(None))
+            return pools[-1]
+
+        policy = RetryPolicy(max_retries=2, backoff_base=0.0, task_timeout=0.01)
+        out = supervised_map(factory, lambda i: (i, True, i), 3, policy=policy)
+        assert out == [0, 1, 2]
+        assert len(pools) == 2  # wedged pool was killed and rebuilt
+        assert pools[0].terminated
+
+    def test_empty_task_list(self):
+        def factory():  # pragma: no cover - must never be called
+            raise AssertionError("no pool should be built for zero tasks")
+
+        assert supervised_map(factory, lambda i: (i, True, i), 0, policy=FAST) == []
