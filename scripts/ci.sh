@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# CI entry point: full test suite + parallel-generation and crash-resume smokes.
+# CI entry point: full test suite + perf, parallel-generation and
+# crash-resume smokes.
 #
 # 1. Runs the tier-1 suite (unit/property/integration tests).
+# 1b. Perf smoke: generation throughput bench on a tiny model, emitting
+#    the BENCH_throughput.json artifact.  Gates only on deterministic
+#    counters (model calls / primed positions vs the planned budget —
+#    catching de-dedup regressions), never on wall-clock.
 # 2. Smokes bench_table4_trawling at tiny scale with 2 worker processes
 #    and only the GPT model rows, exercising the multiprocess D&C-GEN
 #    backend end-to-end (~30 s warm; the first run trains the tiny
@@ -16,6 +21,11 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
 python -m pytest -x -q
+
+# Perf smoke (deterministic): fails if D&C-GEN's physical model-call or
+# primed-position counts exceed the planned execute budget.
+python benchmarks/bench_throughput.py --scale tiny --check
+test -s BENCH_throughput.json
 
 REPRO_BENCH_SCALE=tiny \
 REPRO_BENCH_WORKERS=2 \

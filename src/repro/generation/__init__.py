@@ -10,6 +10,7 @@ from .dcgen import (
     execute_batch,
     leaf_rng,
     plan_digest,
+    planned_execute_costs,
     remaining_search_space,
 )
 from .parallel import (
@@ -37,6 +38,7 @@ __all__ = [
     "execute_batch",
     "leaf_rng",
     "plan_digest",
+    "planned_execute_costs",
     "remaining_search_space",
     "execute_batches_parallel",
     "execute_free_chunks_parallel",

@@ -256,30 +256,42 @@ def execute_batch(
     Pure with respect to run state: everything it needs travels in the
     batch, so it executes identically in the serial loop and in a worker
     process.
+
+    Priming is prefix-deduplicated: the shared ``<BOS> pattern <SEP>``
+    prompt comes from the model's :class:`~repro.nn.PromptCache` (primed
+    once per pattern, usually already warm from the divide phase), the
+    leaf characters are extended with one row per *leaf* rather than per
+    guess, and the result is fanned out to the full row count with
+    :meth:`~repro.nn.KVCache.gather`.  Because batched forward passes
+    are per-row bitwise deterministic, the sampled stream is identical
+    to priming every row from scratch.
+
+    The returned call count is *logical* (prompt primes are accounted
+    once per pattern in :meth:`DCGenerator.plan`), so stats stay
+    invariant to worker sharding; physical work is tracked separately by
+    :class:`~repro.nn.InferenceCounters`.
     """
     tokenizer = model.tokenizer
     vocab = tokenizer.vocab
+    token_strs = vocab.token_array
     first = batch.slices[0][0]
     pattern = Pattern.parse(first.pattern)
     done = first.done_chars
+    prompt_len = first.prompt_len
     n_positions = pattern.length - done
+
+    # One prefix row per *leaf slice*; expand maps them to guess rows.
+    counts = np.array([stop - start for _, start, stop in batch.slices])
+    expand = np.repeat(np.arange(len(batch.slices)), counts)
+    if done:
+        leaf_chars = np.stack([leaf.prefix[prompt_len:] for leaf, _, _ in batch.slices])
+    else:
+        leaf_chars = np.empty((len(batch.slices), 0), dtype=np.int64)
 
     # Fully-specified prefixes need no sampling at all.
     if n_positions == 0:
-        out = [
-            tokenizer.decode_password(np.append(leaf.prefix, vocab.eos_id))
-            for leaf, start, stop in batch.slices
-            for _ in range(stop - start)
-        ]
-        return out, 0
+        return ["".join(row) for row in token_strs[leaf_chars[expand]].tolist()], 0
 
-    rows = np.stack(
-        [
-            leaf.prefix
-            for leaf, start, stop in batch.slices
-            for _ in range(stop - start)
-        ]
-    )
     # Each leaf's draw matrix is drawn whole and sliced, so a leaf that
     # spans several batches still samples the same values per row.
     draws = np.concatenate(
@@ -289,19 +301,59 @@ def execute_batch(
         ]
     )
 
-    logits, cache = model.inference.start(rows)
-    calls = 1
-    prompt_len = first.prompt_len
-    chars = [[vocab.token_of(int(i)) for i in row[prompt_len:]] for row in rows]
+    prompt_logits, prompt_kv = model.prompt_cache.lookup(first.prefix[:prompt_len])
+    calls = 0
+    if done:
+        # Extend the shared prompt by each leaf's decided characters
+        # (unique rows only), then replicate to the full guess count.
+        unique_kv = prompt_kv.gather(np.zeros(len(batch.slices), dtype=np.intp))
+        unique_logits = model.inference.extend(leaf_chars, unique_kv)
+        calls += 1
+        cache = unique_kv.gather(expand)
+        logits = unique_logits[expand]
+    else:
+        cache = prompt_kv.gather(np.zeros(len(expand), dtype=np.intp))
+        logits = np.repeat(prompt_logits, len(expand), axis=0)
+
+    chosen_cols = np.empty((len(expand), n_positions), dtype=np.int64)
     for j, position in enumerate(range(done, pattern.length)):
         allowed = tokenizer.allowed_ids_at(pattern, position)
         chosen = choose_constrained(logits, allowed, draws[:, j], sampler)
-        for row, token_id in enumerate(chosen):
-            chars[row].append(vocab.token_of(int(token_id)))
+        chosen_cols[:, j] = chosen
         if position + 1 < pattern.length:
             logits = model.inference.step(chosen, cache)
             calls += 1
-    return ["".join(c) for c in chars], calls
+    all_chars = np.concatenate([leaf_chars[expand], chosen_cols], axis=1)
+    return ["".join(row) for row in token_strs[all_chars].tolist()], calls
+
+
+def planned_execute_costs(batches: Sequence[LeafBatch]) -> dict[str, int]:
+    """The execute phase's model-call / primed-position budget.
+
+    Assumes every pattern prompt is already warm in the
+    :class:`~repro.nn.PromptCache` (``plan`` primes them), so the budget
+    counts only per-batch leaf-character extends and decode steps:
+
+    * ``model_calls`` — one extend per batch with decided characters,
+      plus ``n_positions - 1`` single-token steps per batch;
+    * ``primed_positions`` — unique-leaf rows × decided characters (the
+      priming FLOPs proxy).
+
+    The throughput bench compares these against the physical
+    :class:`~repro.nn.InferenceCounters` of a serial run; measured work
+    above plan means priming got de-deduplicated.
+    """
+    calls = 0
+    primed = 0
+    for batch in batches:
+        first = batch.slices[0][0]
+        n_positions = Pattern.parse(first.pattern).length - first.done_chars
+        if first.done_chars > 0 and n_positions > 0:
+            calls += 1
+            primed += len(batch.slices) * first.done_chars
+        if n_positions > 0:
+            calls += n_positions - 1
+    return {"model_calls": calls, "primed_positions": primed}
 
 
 class DCGenerator:
@@ -421,6 +473,14 @@ class DCGenerator:
         prompt_len = len(prompt)
         threshold = self.config.threshold
 
+        # Prime the pattern's shared prompt once; the divide phase, every
+        # execute batch, and (via copy-on-write fork) worker processes
+        # all reuse this entry instead of re-running the prompt forward.
+        # Counted here exactly once so the stats stay invariant to
+        # gen_batch packing and worker sharding.
+        self.model.prompt_cache.lookup(prompt)
+        self.stats.model_calls += 1
+
         # Level-synchronous division: every task at depth d has the same
         # prefix length, so a whole level is one batched model call.
         leaves_by_depth: dict[int, list[_Task]] = {}
@@ -435,7 +495,7 @@ class DCGenerator:
             allowed = tokenizer.allowed_ids_at(pattern, depth)
             child_space = remaining_search_space(pattern, depth + 1)
             rows = np.stack([t.prefix for t in frontier])
-            probs = self._next_distributions(rows, allowed)
+            probs = self._next_distributions(rows, allowed, prompt_len)
             self.stats.divisions += len(frontier)
             for task, dist in zip(frontier, probs):
                 counts = task.count * dist
@@ -486,15 +546,30 @@ class DCGenerator:
                     )
                 )
 
-    def _next_distributions(self, rows: np.ndarray, allowed: np.ndarray) -> np.ndarray:
-        """Renormalised next-token probabilities over ``allowed`` per row."""
+    def _next_distributions(
+        self, rows: np.ndarray, allowed: np.ndarray, prompt_len: int
+    ) -> np.ndarray:
+        """Renormalised next-token probabilities over ``allowed`` per row.
+
+        All rows share the pattern prompt ``rows[:, :prompt_len]``, so the
+        prompt KV state comes from the warm :class:`~repro.nn.PromptCache`
+        and only the characters beyond it are fed through the model.  At
+        depth 0 the cached prompt logits are reused outright — no model
+        call at all.
+        """
         gen_batch = self.config.gen_batch
         out = np.empty((len(rows), len(allowed)), dtype=np.float64)
+        prompt_logits, prompt_kv = self.model.prompt_cache.lookup(rows[0, :prompt_len])
+        depth = rows.shape[1] - prompt_len
         for start in range(0, len(rows), gen_batch):
             chunk = rows[start : start + gen_batch]
-            logits, _ = self.model.inference.start(chunk)
+            if depth == 0:
+                logits = np.repeat(prompt_logits, len(chunk), axis=0)
+            else:
+                kv = prompt_kv.gather(np.zeros(len(chunk), dtype=np.intp))
+                logits = self.model.inference.extend(chunk[:, prompt_len:], kv)
+                self.stats.model_calls += 1
             out[start : start + len(chunk)] = constrained_distribution(logits, allowed)
-            self.stats.model_calls += 1
         return out
 
     # ------------------------------------------------------------------

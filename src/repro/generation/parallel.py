@@ -17,7 +17,10 @@ Weight sharing
 
 * With the ``fork`` start method (Linux default) workers inherit the
   parent's model snapshot copy-on-write: the parent touches
-  ``model.inference`` once before forking so no worker rebuilds it.
+  ``model.inference`` and ``model.prompt_cache`` once before forking so
+  no worker rebuilds them — prompts primed in the parent (the D&C-GEN
+  divide phase warms every pattern's ``<BOS> pattern <SEP>``) are never
+  re-primed by workers.
 * Without ``fork`` (e.g. spawn on macOS/Windows) the parent writes the
   weights once to a temporary ``repro.nn.serialization`` checkpoint and
   each worker rebuilds the model from that blob at pool init.
@@ -160,7 +163,10 @@ def _run_pool(
     if start_method is None:
         methods = mp.get_all_start_methods()
         start_method = "fork" if "fork" in methods else mp.get_start_method()
-    model.inference  # build the weight snapshot once, before any fork
+    # Build the weight snapshot and prompt-KV cache once, before any
+    # fork, so workers inherit them copy-on-write.
+    model.inference
+    model.prompt_cache
     sampler = model.sampler
     workers = max(1, min(workers, len(tasks)))
 

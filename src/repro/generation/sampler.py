@@ -106,6 +106,11 @@ def choose_constrained(
     restricted = logits[:, allowed_ids]
     probs = logits_to_probs(restricted, config)
     cumulative = np.cumsum(probs, axis=-1)
+    # Rounding error can leave cumulative[-1] just below 1.0; a draw above
+    # it would make every comparison False and argmax silently pick index
+    # 0.  Clamping the last entry to 1.0 maps such draws to the last
+    # allowed token, as exact arithmetic would.
+    cumulative[:, -1] = 1.0
     choices = (np.asarray(draws).reshape(-1, 1) < cumulative).argmax(axis=-1)
     return allowed_ids[choices]
 
@@ -149,5 +154,8 @@ def constrained_distribution(logits: np.ndarray, allowed_ids: np.ndarray) -> np.
 def _sample_rows(probs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
     """Vectorised categorical sampling, one draw per row."""
     cumulative = np.cumsum(probs, axis=-1)
+    # See choose_constrained: clamp so a draw above a rounded-down final
+    # cumulative sum selects the last token instead of index 0.
+    cumulative[:, -1] = 1.0
     draws = rng.random((probs.shape[0], 1))
     return (draws < cumulative).argmax(axis=-1)

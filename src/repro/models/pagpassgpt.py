@@ -23,7 +23,7 @@ import numpy as np
 
 from ..datasets.corpus import PasswordCorpus
 from ..generation.sampler import GEN_BATCH, SamplerConfig, sample_constrained, sample_masked
-from ..nn import GPT2Config, GPT2Inference, GPT2Model
+from ..nn import GPT2Config, GPT2Inference, GPT2Model, PromptCache
 from ..runtime import RunJournal, maybe_fail
 from ..tokenizer.patterns import Pattern
 from ..tokenizer.tokenizer import PasswordTokenizer
@@ -59,6 +59,7 @@ class PagPassGPT(PatternGuidedGuesser):
         self.model = GPT2Model(self.model_config, seed=seed)
         self.history: Optional[TrainHistory] = None
         self._inference: Optional[GPT2Inference] = None
+        self._prompt_cache: Optional[PromptCache] = None
         self._fitted = False
         #: Pattern distribution of the training corpus (D&C-GEN's S_p).
         self.pattern_probs: dict[str, float] = {}
@@ -95,6 +96,7 @@ class PagPassGPT(PatternGuidedGuesser):
         self.pattern_probs = dict(corpus.pattern_probs)
         self._fitted = True
         self._inference = None
+        self._prompt_cache = None
         return self
 
     @property
@@ -110,9 +112,23 @@ class PagPassGPT(PatternGuidedGuesser):
             self._inference = GPT2Inference(self.model)
         return self._inference
 
+    @property
+    def prompt_cache(self) -> PromptCache:
+        """Memoised prompt KV states shared by every generation path.
+
+        ``<BOS> pattern <SEP>`` prompts (and the bare ``<BOS>`` of free
+        generation) are primed once and fanned out per batch; under the
+        ``fork`` start method worker processes inherit warm entries
+        copy-on-write.
+        """
+        if self._prompt_cache is None:
+            self._prompt_cache = PromptCache(self.inference)
+        return self._prompt_cache
+
     def invalidate_inference(self) -> None:
         """Drop the cached inference snapshot (call after further training)."""
         self._inference = None
+        self._prompt_cache = None
 
 
     # ------------------------------------------------------------------
@@ -185,20 +201,20 @@ class PagPassGPT(PatternGuidedGuesser):
         """
         prompt_len = pattern.num_segments + 2  # <BOS> pattern <SEP>
         done_chars = len(prefix_ids) - prompt_len
-        rows = np.tile(prefix_ids, (batch, 1))
-        logits, cache = self.inference.start(rows)
-        generated = [
-            [self.tokenizer.vocab.token_of(int(i)) for i in prefix_ids[prompt_len:]]
-            for _ in range(batch)
-        ]
-        for position in range(done_chars, pattern.length):
+        # All rows share the prefix: prime it once, fan out the KV state.
+        logits, cache = self.prompt_cache.expand(prefix_ids, batch)
+        token_strs = self.tokenizer.vocab.token_array
+        n_positions = pattern.length - done_chars
+        chosen_cols = np.empty((batch, n_positions), dtype=np.int64)
+        for j, position in enumerate(range(done_chars, pattern.length)):
             allowed = self.tokenizer.allowed_ids_at(pattern, position)
             chosen = sample_constrained(logits, allowed, rng, self.sampler)
-            for row, token_id in enumerate(chosen):
-                generated[row].append(self.tokenizer.vocab.token_of(int(token_id)))
+            chosen_cols[:, j] = chosen
             if position + 1 < pattern.length:
                 logits = self.inference.step(chosen, cache)
-        return ["".join(chars) for chars in generated]
+        prefix_chars = np.tile(prefix_ids[prompt_len:], (batch, 1))
+        all_chars = np.concatenate([prefix_chars, chosen_cols], axis=1)
+        return ["".join(row) for row in token_strs[all_chars].tolist()]
 
     # ------------------------------------------------------------------
     # Free (trawling) generation
@@ -237,6 +253,9 @@ class PagPassGPT(PatternGuidedGuesser):
         from ..generation.parallel import execute_free_chunks_parallel, free_chunks
 
         chunks = free_chunks(n)
+        # Warm the <BOS> prompt before any dispatch so forked workers
+        # inherit the primed entry copy-on-write instead of re-priming.
+        self.prompt_cache.lookup(np.array([self.tokenizer.vocab.bos_id], dtype=np.int64))
         owns_journal = False
         if journal is not None and not isinstance(journal, RunJournal):
             header = {"kind": "free", "seed": int(seed), "n": int(n),
@@ -296,8 +315,10 @@ class PagPassGPT(PatternGuidedGuesser):
         tokenizer = self.tokenizer
         vocab = tokenizer.vocab
         max_len = tokenizer.max_password_length
-        rows = np.full((batch, 1), vocab.bos_id, dtype=np.int64)
-        logits, cache = self.inference.start(rows)
+        # Every row starts from the same bare <BOS>: prime once, fan out.
+        logits, cache = self.prompt_cache.expand(
+            np.array([vocab.bos_id], dtype=np.int64), batch
+        )
 
         # Per-row decode state.
         in_pattern = np.ones(batch, dtype=bool)

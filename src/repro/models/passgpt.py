@@ -16,7 +16,7 @@ import numpy as np
 
 from ..datasets.corpus import PasswordCorpus
 from ..generation.sampler import GEN_BATCH, SamplerConfig, sample_constrained
-from ..nn import GPT2Config, GPT2Inference, GPT2Model
+from ..nn import GPT2Config, GPT2Inference, GPT2Model, PromptCache
 from ..tokenizer.patterns import Pattern
 from ..tokenizer.tokenizer import PasswordOnlyTokenizer
 from ..training import TrainConfig, TrainHistory, Trainer
@@ -49,6 +49,7 @@ class PassGPT(PatternGuidedGuesser):
         self.model = GPT2Model(self.model_config, seed=seed)
         self.history: Optional[TrainHistory] = None
         self._inference: Optional[GPT2Inference] = None
+        self._prompt_cache: Optional[PromptCache] = None
         self._fitted = False
 
     def fit(
@@ -73,6 +74,7 @@ class PassGPT(PatternGuidedGuesser):
         )
         self._fitted = True
         self._inference = None
+        self._prompt_cache = None
         return self
 
     @property
@@ -81,6 +83,13 @@ class PassGPT(PatternGuidedGuesser):
             self.model.eval()
             self._inference = GPT2Inference(self.model)
         return self._inference
+
+    @property
+    def prompt_cache(self) -> PromptCache:
+        """Memoised prompt KV states (every batch starts from ``<BOS>``)."""
+        if self._prompt_cache is None:
+            self._prompt_cache = PromptCache(self.inference)
+        return self._prompt_cache
 
 
     # ------------------------------------------------------------------
@@ -138,10 +147,10 @@ class PassGPT(PatternGuidedGuesser):
         )
         out: list[str] = []
         max_steps = self.model_config.block_size - 1
+        bos = np.array([vocab.bos_id], dtype=np.int64)
         for start in range(0, n, GEN_BATCH):
             batch = min(GEN_BATCH, n - start)
-            rows = np.full((batch, 1), vocab.bos_id, dtype=np.int64)
-            logits, cache = self.inference.start(rows)
+            logits, cache = self.prompt_cache.expand(bos, batch)
             sequences = np.full((batch, max_steps), vocab.pad_id, dtype=np.int64)
             alive = np.ones(batch, dtype=bool)
             for step in range(max_steps):
@@ -164,17 +173,17 @@ class PassGPT(PatternGuidedGuesser):
         vocab = self.tokenizer.vocab
         classes = pattern.char_classes()
         out: list[str] = []
+        bos = np.array([vocab.bos_id], dtype=np.int64)
+        token_strs = vocab.token_array
         for start in range(0, n, GEN_BATCH):
             batch = min(GEN_BATCH, n - start)
-            rows = np.full((batch, 1), vocab.bos_id, dtype=np.int64)
-            logits, cache = self.inference.start(rows)
-            chars: list[list[str]] = [[] for _ in range(batch)]
+            logits, cache = self.prompt_cache.expand(bos, batch)
+            chosen_cols = np.empty((batch, len(classes)), dtype=np.int64)
             for position, cls in enumerate(classes):
                 allowed = self.tokenizer.class_char_ids[cls]
                 chosen = sample_constrained(logits, allowed, rng, self.sampler)
-                for row, token_id in enumerate(chosen):
-                    chars[row].append(vocab.token_of(int(token_id)))
+                chosen_cols[:, position] = chosen
                 if position + 1 < len(classes):
                     logits = self.inference.step(chosen, cache)
-            out.extend("".join(c) for c in chars)
+            out.extend("".join(row) for row in token_strs[chosen_cols].tolist())
         return out

@@ -4,7 +4,7 @@ from .module import Module, Parameter
 from .layers import Linear, Embedding, LayerNorm, Dropout, Sequential, MLP
 from .attention import CausalSelfAttention, causal_mask
 from .transformer import GPT2Config, GPT2Model, TransformerBlock
-from .inference import GPT2Inference, KVCache
+from .inference import GPT2Inference, InferenceCounters, KVCache, PromptCache
 from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
 from .schedules import LRSchedule, WarmupCosine, WarmupLinear
 from .serialization import CheckpointError, read_checkpoint_meta, save_checkpoint, load_checkpoint
@@ -24,7 +24,9 @@ __all__ = [
     "GPT2Model",
     "TransformerBlock",
     "GPT2Inference",
+    "InferenceCounters",
     "KVCache",
+    "PromptCache",
     "SGD",
     "Adam",
     "AdamW",

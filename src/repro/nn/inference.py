@@ -4,12 +4,33 @@ Generation (especially D&C-GEN, which queries thousands of next-token
 distributions) dominates runtime, so this module re-implements the GPT-2
 forward pass in plain numpy with a pre-allocated key/value cache instead of
 walking the autograd graph.  Equivalence with the training path is
-enforced by tests (`tests/test_nn_inference.py`).
+enforced by tests (`tests/test_nn_inference.py`,
+`tests/test_nn_inference_fastpath.py`).
+
+Fast-path design (inference fast-path v2):
+
+* **float32 end-to-end** — weights are stored in float32; every kernel
+  keeps activations in float32 (the scale constant is a float32 scalar,
+  so numpy's NEP-50 promotion never silently upcasts a matmul chain to
+  float64).
+* **seq==1 decode kernel** (:meth:`GPT2Inference.step`) — single-token
+  decoding skips causal-mask construction and ``np.where`` entirely (a
+  lone query attends to everything cached), avoids the 5-D
+  reshape/transpose round-trip of the general path, and reuses
+  per-cache scratch buffers for the QKV/attention/MLP matmuls.
+* **prompt deduplication** (:class:`PromptCache` +
+  :meth:`KVCache.gather`) — a shared prompt is primed once, stored
+  trimmed to its filled region, and fanned out to any batch width with
+  a vectorised row gather instead of being recomputed per row.
+* **instrumentation** (:class:`InferenceCounters`) — every forward
+  records how many rows×positions it primed, which is the FLOPs proxy
+  the throughput bench and CI use to detect de-dedup regressions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, fields
 
 import numpy as np
 
@@ -18,9 +39,14 @@ from .transformer import GPT2Model
 _NEG_INF = -1e9
 
 
+# Python-float constant: a np.float64 scalar here would upcast every
+# activation chain to float64 under NEP-50 promotion.
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+
+
 def _gelu(x: np.ndarray) -> np.ndarray:
     # x*x*x instead of x**3: numpy's pow loop is ~100x slower elementwise.
-    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * (x * x * x))))
+    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * (x * x * x))))
 
 
 def _layer_norm(x: np.ndarray, w: np.ndarray, b: np.ndarray, eps: float = 1e-5) -> np.ndarray:
@@ -51,8 +77,40 @@ class _BlockWeights:
     fc_proj_b: np.ndarray
 
 
+@dataclass
+class InferenceCounters:
+    """Physical forward-pass accounting for one :class:`GPT2Inference`.
+
+    ``prime_positions`` (rows × tokens written into KV caches) is the
+    priming FLOPs proxy: with prefix-deduplicated priming it grows with
+    the number of *unique* prefixes, not the number of sampled rows.
+    The throughput bench compares it against the planned budget to catch
+    accidental de-deduplication deterministically.
+    """
+
+    calls: int = 0  # every forward invocation (full + prime + step)
+    full_calls: int = 0
+    full_positions: int = 0
+    prime_calls: int = 0
+    prime_positions: int = 0
+    step_calls: int = 0
+    step_rows: int = 0
+
+    def reset(self) -> None:
+        for field in fields(self):
+            setattr(self, field.name, 0)
+
+
 class KVCache:
-    """Pre-allocated per-layer key/value cache for a generation batch."""
+    """Pre-allocated per-layer key/value cache for a generation batch.
+
+    Invariant: positions ``[0, length)`` of every buffer are filled; the
+    remainder up to ``capacity`` is zeroed headroom for future decode
+    steps.  Row operations (:meth:`gather` and its :meth:`select` /
+    :meth:`repeat_rows` conveniences) therefore copy only the filled
+    region while allocating full-capacity buffers, so a gathered cache
+    keeps the same remaining decode capacity as its source.
+    """
 
     def __init__(self, n_layers: int, batch: int, n_heads: int, block_size: int, head_dim: int) -> None:
         shape = (batch, n_heads, block_size, head_dim)
@@ -60,35 +118,78 @@ class KVCache:
         self.values = [np.zeros(shape, dtype=np.float32) for _ in range(n_layers)]
         self.length = 0
         self.batch = batch
+        #: Total positions each buffer can hold (the model's block size).
+        self.capacity = block_size
+        #: Per-layer scratch reused by the seq==1 decode kernel.
+        self._scratch: dict | None = None
+
+    def gather(self, indices: np.ndarray) -> "KVCache":
+        """Return a new cache whose rows are ``self``'s rows at ``indices``.
+
+        ``indices`` may repeat and reorder rows arbitrarily, which makes
+        this the one primitive behind batch splitting (``select``),
+        prompt fan-out (``repeat_rows``) and D&C-GEN's unique-prefix →
+        full-row expansion.  Only the filled ``[0, length)`` region is
+        copied; the result owns fresh full-capacity buffers (storage is
+        never shared with the source).
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        out = KVCache.__new__(KVCache)
+        n = int(len(indices))
+        filled = self.length
+        out.keys = []
+        out.values = []
+        for k, v in zip(self.keys, self.values):
+            heads, head_dim = k.shape[1], k.shape[3]
+            nk = np.zeros((n, heads, self.capacity, head_dim), dtype=np.float32)
+            nv = np.zeros((n, heads, self.capacity, head_dim), dtype=np.float32)
+            if filled:
+                nk[:, :, :filled] = k[indices, :, :filled]
+                nv[:, :, :filled] = v[indices, :, :filled]
+            out.keys.append(nk)
+            out.values.append(nv)
+        out.length = filled
+        out.batch = n
+        out.capacity = self.capacity
+        out._scratch = None
+        return out
 
     def select(self, rows: np.ndarray) -> "KVCache":
-        """Return a new cache containing only the given batch rows.
+        """Gather the given batch rows into a new cache.
 
         Used by D&C-GEN when a task batch is split into surviving
         sub-prefixes.
         """
-        out = KVCache.__new__(KVCache)
-        out.keys = [k[rows].copy() for k in self.keys]
-        out.values = [v[rows].copy() for v in self.values]
-        out.length = self.length
-        out.batch = int(len(rows))
-        return out
+        return self.gather(rows)
 
     def repeat_rows(self, row: int, count: int) -> "KVCache":
         """Return a cache with one row replicated ``count`` times."""
+        return self.gather(np.full(count, row, dtype=np.intp))
+
+    def trimmed(self) -> "KVCache":
+        """Compact deep copy holding only the filled ``[0, length)`` region.
+
+        Used by :class:`PromptCache` to store primed prompts densely;
+        :meth:`gather` on a trimmed cache restores full-capacity buffers,
+        so decode headroom is preserved across the round trip.
+        """
         out = KVCache.__new__(KVCache)
-        out.keys = [np.repeat(k[row : row + 1], count, axis=0) for k in self.keys]
-        out.values = [np.repeat(v[row : row + 1], count, axis=0) for v in self.values]
-        out.length = self.length
-        out.batch = count
+        filled = self.length
+        out.keys = [np.ascontiguousarray(k[:, :, :filled]) for k in self.keys]
+        out.values = [np.ascontiguousarray(v[:, :, :filled]) for v in self.values]
+        out.length = filled
+        out.batch = self.batch
+        out.capacity = self.capacity
+        out._scratch = None
         return out
 
 
 class GPT2Inference:
     """Numpy forward pass over a trained :class:`GPT2Model`'s weights.
 
-    The instance snapshots the model weights at construction time; rebuild
-    it after further training steps.
+    The instance snapshots the model weights at construction time (the
+    arrays are shared, not copied); rebuild it after further training
+    steps.  All paths compute in float32.
     """
 
     def __init__(self, model: GPT2Model) -> None:
@@ -119,23 +220,39 @@ class GPT2Inference:
             )
             for b in model.blocks
         ]
+        # float32 scalar: dividing by a float64 scalar would upcast the
+        # whole activation chain to float64 under NEP-50 promotion.
+        self._kscale = np.float32(np.sqrt(cfg.dim // cfg.n_heads))
+        self.counters = InferenceCounters()
 
     # ------------------------------------------------------------------
     # Full-sequence forward (no cache)
     # ------------------------------------------------------------------
-    def logits(self, ids: np.ndarray) -> np.ndarray:
-        """Next-token logits for every position; ids shape ``(B, S)``."""
+    def logits(self, ids: np.ndarray, last_only: bool = False) -> np.ndarray:
+        """Next-token logits; ids shape ``(B, S)``.
+
+        By default every position is projected through ``lm_head`` and
+        the result has shape ``(B, S, vocab)``.  ``last_only=True``
+        projects just the final position — shape ``(B, vocab)`` — which
+        is what next-token queries need and skips ``(S-1)/S`` of the
+        output-projection work.
+        """
         ids = np.asarray(ids)
         batch, seq = ids.shape
         cfg = self.config
         if seq > cfg.block_size:
             raise ValueError(f"sequence length {seq} exceeds block size {cfg.block_size}")
+        self.counters.calls += 1
+        self.counters.full_calls += 1
+        self.counters.full_positions += batch * seq
         x = self.token_emb[ids] + self.pos_emb[:seq]
         mask = np.triu(np.ones((seq, seq), dtype=bool), k=1)
         for bw in self.blocks:
             x = x + self._attention(_layer_norm(x, bw.ln1_w, bw.ln1_b), bw, mask)
             h = _layer_norm(x, bw.ln2_w, bw.ln2_b)
             x = x + _gelu(h @ bw.fc_w + bw.fc_b) @ bw.fc_proj_w + bw.fc_proj_b
+        if last_only:
+            return _layer_norm(x[:, -1], self.ln_f_w, self.ln_f_b) @ self.lm_head
         x = _layer_norm(x, self.ln_f_w, self.ln_f_b)
         return x @ self.lm_head
 
@@ -146,7 +263,7 @@ class GPT2Inference:
         qkv = qkv.reshape(batch, seq, 3, cfg.n_heads, cfg.dim // cfg.n_heads)
         qkv = qkv.transpose(2, 0, 3, 1, 4)
         q, k, v = qkv[0], qkv[1], qkv[2]
-        scores = q @ np.swapaxes(k, -1, -2) / np.sqrt(cfg.dim // cfg.n_heads)
+        scores = q @ np.swapaxes(k, -1, -2) / self._kscale
         scores = np.where(mask[None, None], _NEG_INF, scores)
         out = _softmax(scores) @ v
         out = out.transpose(0, 2, 1, 3).reshape(batch, seq, cfg.dim)
@@ -156,7 +273,7 @@ class GPT2Inference:
     # Cached incremental decoding
     # ------------------------------------------------------------------
     def start(self, prompt_ids: np.ndarray) -> tuple[np.ndarray, KVCache]:
-        """Prime a KV cache with a common prompt.
+        """Prime a fresh KV cache with a prompt.
 
         Parameters
         ----------
@@ -176,10 +293,70 @@ class GPT2Inference:
         logits = self._forward_cached(prompt_ids, cache)
         return logits, cache
 
+    def extend(self, ids: np.ndarray, cache: KVCache) -> np.ndarray:
+        """Feed ``(batch, seq)`` further tokens into an existing cache.
+
+        The multi-token counterpart of :meth:`step`: D&C-GEN uses it to
+        append a leaf's already-decided characters onto a shared primed
+        prompt instead of re-running the prompt forward per row.
+        Returns ``(batch, vocab)`` logits for the next position.
+        """
+        return self._forward_cached(np.asarray(ids), cache)
+
     def step(self, next_ids: np.ndarray, cache: KVCache) -> np.ndarray:
-        """Feed one more token per row; returns ``(batch, vocab)`` logits."""
-        next_ids = np.asarray(next_ids).reshape(-1, 1)
-        return self._forward_cached(next_ids, cache)
+        """Feed one more token per row; returns ``(batch, vocab)`` logits.
+
+        Single-token decode kernel: no causal mask is needed (the one
+        new query may attend to every cached position), activations stay
+        2-D ``(batch, dim)`` end to end, and the QKV/attention/MLP
+        matmuls write into scratch buffers kept on the cache.
+        """
+        ids = np.asarray(next_ids).reshape(-1)
+        cfg = self.config
+        batch = ids.shape[0]
+        pos = cache.length
+        stop = pos + 1
+        if stop > cfg.block_size:
+            raise ValueError(f"cache overflow: {stop} > block size {cfg.block_size}")
+        self.counters.calls += 1
+        self.counters.step_calls += 1
+        self.counters.step_rows += batch
+        dim = cfg.dim
+        n_heads = cfg.n_heads
+        head_dim = dim // n_heads
+        scratch = cache._scratch
+        if scratch is None or scratch["qkv"].shape[0] != batch:
+            scratch = {
+                "qkv": np.empty((batch, 3 * dim), dtype=np.float32),
+                "att": np.empty((batch, n_heads, 1, head_dim), dtype=np.float32),
+                "ff": np.empty((batch, self.blocks[0].fc_w.shape[1]), dtype=np.float32),
+            }
+            cache._scratch = scratch
+        x = self.token_emb[ids] + self.pos_emb[pos]
+        for layer, bw in enumerate(self.blocks):
+            h = _layer_norm(x, bw.ln1_w, bw.ln1_b)
+            qkv = np.matmul(h, bw.qkv_w, out=scratch["qkv"])
+            qkv += bw.qkv_b
+            q = qkv[:, :dim].reshape(batch, n_heads, 1, head_dim)
+            cache.keys[layer][:, :, pos] = qkv[:, dim : 2 * dim].reshape(batch, n_heads, head_dim)
+            cache.values[layer][:, :, pos] = qkv[:, 2 * dim :].reshape(batch, n_heads, head_dim)
+            k = cache.keys[layer][:, :, :stop]
+            v = cache.values[layer][:, :, :stop]
+            scores = q @ np.swapaxes(k, -1, -2)  # (batch, heads, 1, stop)
+            scores /= self._kscale
+            scores -= scores.max(axis=-1, keepdims=True)
+            np.exp(scores, out=scores)
+            scores /= scores.sum(axis=-1, keepdims=True)
+            att = np.matmul(scores, v, out=scratch["att"])
+            x += att.reshape(batch, dim) @ bw.proj_w
+            x += bw.proj_b
+            h2 = _layer_norm(x, bw.ln2_w, bw.ln2_b)
+            ff = np.matmul(h2, bw.fc_w, out=scratch["ff"])
+            ff += bw.fc_b
+            x += _gelu(ff) @ bw.fc_proj_w
+            x += bw.fc_proj_b
+        cache.length = stop
+        return _layer_norm(x, self.ln_f_w, self.ln_f_b) @ self.lm_head
 
     def _forward_cached(self, ids: np.ndarray, cache: KVCache) -> np.ndarray:
         cfg = self.config
@@ -188,6 +365,9 @@ class GPT2Inference:
         stop = start + seq
         if stop > cfg.block_size:
             raise ValueError(f"cache overflow: {stop} > block size {cfg.block_size}")
+        self.counters.calls += 1
+        self.counters.prime_calls += 1
+        self.counters.prime_positions += batch * seq
         head_dim = cfg.dim // cfg.n_heads
         x = self.token_emb[ids] + self.pos_emb[start:stop]
         # causal mask restricted to the new queries attending over [0, stop)
@@ -201,7 +381,7 @@ class GPT2Inference:
             cache.values[layer][:, :, start:stop] = v_new
             k = cache.keys[layer][:, :, :stop]
             v = cache.values[layer][:, :, :stop]
-            scores = q @ np.swapaxes(k, -1, -2) / np.sqrt(head_dim)
+            scores = q @ np.swapaxes(k, -1, -2) / self._kscale
             scores = np.where(mask[None, None], _NEG_INF, scores)
             att = _softmax(scores) @ v
             att = att.transpose(0, 2, 1, 3).reshape(batch, seq, cfg.dim)
@@ -211,3 +391,69 @@ class GPT2Inference:
         cache.length = stop
         x_last = _layer_norm(x[:, -1], self.ln_f_w, self.ln_f_b)
         return x_last @ self.lm_head
+
+
+class PromptCache:
+    """LRU of primed prompt KV states, keyed by the prompt's token ids.
+
+    D&C-GEN, pattern-guided generation and free generation all prime
+    thousands of rows that share one short prompt (``<BOS> pattern
+    <SEP>`` or a bare ``<BOS>``).  This cache primes each distinct
+    prompt once through :meth:`GPT2Inference.start`, stores the result
+    trimmed to its filled region, and fans it out to any batch width
+    via :meth:`KVCache.gather` — turning O(rows × prompt_len) priming
+    into O(distinct prompts × prompt_len).
+
+    Entries are immutable by convention: callers must never decode into
+    a cache returned by :meth:`lookup` (use :meth:`expand`, which
+    returns fresh buffers).  Under the ``fork`` start method a warm
+    cache is inherited copy-on-write by worker processes, so prompts
+    primed in the parent (e.g. during the D&C-GEN divide phase) are
+    never re-primed by workers.
+    """
+
+    def __init__(self, inference: GPT2Inference, maxsize: int = 512) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.inference = inference
+        self.maxsize = maxsize
+        self._entries: OrderedDict[bytes, tuple[np.ndarray, KVCache]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, prompt_ids: np.ndarray) -> tuple[np.ndarray, KVCache]:
+        """``(logits, trimmed_cache)`` for a 1-D prompt, priming on miss.
+
+        ``logits`` has shape ``(1, vocab)``; the cache holds one row.
+        Both are shared cache state — treat them as read-only.
+        """
+        ids = np.ascontiguousarray(np.asarray(prompt_ids, dtype=np.int64).reshape(-1))
+        key = ids.tobytes()
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        logits, cache = self.inference.start(ids[None, :])
+        entry = (logits, cache.trimmed())
+        self._entries[key] = entry
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry
+
+    def expand(self, prompt_ids: np.ndarray, rows: int) -> tuple[np.ndarray, KVCache]:
+        """Fan the primed prompt out to ``rows`` identical batch rows.
+
+        Returns ``(logits, cache)`` with ``logits`` of shape
+        ``(rows, vocab)`` and a freshly-allocated full-capacity cache
+        that is safe to decode into.
+        """
+        logits, cache = self.lookup(prompt_ids)
+        return (
+            np.repeat(logits, rows, axis=0),
+            cache.gather(np.zeros(rows, dtype=np.intp)),
+        )

@@ -13,6 +13,8 @@ off-by-one in DESIGN.md §6.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .charset import VISIBLE_ASCII
 from .patterns import MAX_SEGMENT_LENGTH
 
@@ -53,6 +55,10 @@ class Vocabulary:
         self._n_pattern = len(pattern_tokens)
         self._id_of = {tok: i for i, tok in enumerate(tokens)}
         self._tok_of = tokens
+        #: Token strings as a numpy array, indexable by id *arrays* —
+        #: ``vocab.token_array[id_matrix]`` decodes a whole batch at once
+        #: where per-element :meth:`token_of` calls would loop in Python.
+        self.token_array = np.array(tokens)
         self.bos_id = self._id_of[BOS]
         self.sep_id = self._id_of[SEP]
         self.eos_id = self._id_of[EOS]

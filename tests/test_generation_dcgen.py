@@ -155,3 +155,58 @@ class TestAlgorithm:
         for gen_batch in (7, 64, 1024):
             gen = DCGenerator(untrained_pag, DCGenConfig(threshold=64, gen_batch=gen_batch))
             assert gen.generate(800, seed=5) == base
+
+
+class TestDedupedPriming:
+    """Physical forward work must match the logical stats and the plan."""
+
+    def test_cold_serial_run_physical_equals_logical(self, untrained_pag):
+        model = untrained_pag
+        model.invalidate_inference()  # cold weight snapshot + prompt cache
+        gen = DCGenerator(model, DCGenConfig(threshold=40, gen_batch=64))
+        counters = model.inference.counters
+        counters.reset()
+        out = gen.generate(600, seed=1)
+        assert out
+        # In a cold serial run every logical call happens physically
+        # exactly once; a mismatch means hidden re-priming (or phantom
+        # accounting) crept in.
+        assert counters.calls == gen.stats.model_calls
+
+    def test_execute_counters_match_planned_costs(self, untrained_pag):
+        from repro.generation import build_batches, planned_execute_costs
+
+        model = untrained_pag
+        model.invalidate_inference()
+        gen = DCGenerator(model, DCGenConfig(threshold=40, gen_batch=64))
+        leaves = gen.plan(600)  # warms every pattern prompt
+        batches = build_batches(leaves, 64)
+        planned = planned_execute_costs(batches)
+        counters = model.inference.counters
+        counters.reset()
+        gen._execute(batches, 1)
+        assert counters.calls == planned["model_calls"]
+        assert counters.prime_positions == planned["primed_positions"]
+
+    def test_priming_flops_proxy_reduced_at_least_2x(self, untrained_pag):
+        """The headline dedup win: primed rows x prefix length drops >=2x
+        vs per-row priming (what execute_batch did before the fast path)."""
+        from repro.generation import build_batches, planned_execute_costs
+
+        model = untrained_pag
+        model.invalidate_inference()
+        gen = DCGenerator(model, DCGenConfig(threshold=40, gen_batch=64))
+        leaves = gen.plan(600)
+        batches = build_batches(leaves, 64)
+        legacy = sum(
+            batch.rows
+            * (batch.slices[0][0].prompt_len + batch.slices[0][0].done_chars)
+            for batch in batches
+            if Pattern.parse(batch.slices[0][0].pattern).length
+            > batch.slices[0][0].done_chars
+        )
+        prompts = {leaf.pattern: leaf.prompt_len for leaf in leaves}
+        deduped = planned_execute_costs(batches)["primed_positions"] + sum(
+            prompts.values()
+        )
+        assert legacy >= 2 * deduped

@@ -1,0 +1,70 @@
+"""Golden-stream regression: optimisations must not change a single byte.
+
+The committed fixture ``tests/golden/streams.json`` was produced by
+``tests/goldens.py`` *before* the inference fast path landed; these tests
+assert the current code reproduces it exactly — for serial and parallel
+execution, several batch widths, and journaled resume.  A failure here
+means an "optimisation" changed what the generators sample.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.generation import DCGenConfig, DCGenerator, plan_digest
+
+from tests.goldens import GOLDEN_PATH, SPEC, build_model
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _dcgen_stream(workers: int, gen_batch: int, journal=None, resume=False):
+    model = build_model()
+    dc = SPEC["dcgen"]
+    gen = DCGenerator(
+        model,
+        DCGenConfig(threshold=dc["threshold"], gen_batch=gen_batch, workers=workers),
+    )
+    stream = gen.generate(dc["total"], seed=dc["seed"], journal=journal, resume=resume)
+    return stream, plan_digest(gen.leaf_tasks)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+@pytest.mark.parametrize("gen_batch", [37, 256])
+def test_dcgen_stream_byte_identical(golden, workers, gen_batch):
+    stream, digest = _dcgen_stream(workers, gen_batch)
+    assert digest == golden["plan_digest"]
+    assert stream == golden["dcgen"]
+    assert hashlib.sha256("\n".join(stream).encode()).hexdigest() == golden["dcgen_sha256"]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_free_stream_byte_identical(golden, workers):
+    model = build_model()
+    stream = model.generate(SPEC["free"]["n"], seed=SPEC["free"]["seed"], workers=workers)
+    assert stream == golden["free"]
+    assert hashlib.sha256("\n".join(stream).encode()).hexdigest() == golden["free_sha256"]
+
+
+def test_journaled_resume_validates_plan_digest(golden, tmp_path):
+    """A journaled run resumes against the same plan digest and stream."""
+    journal = tmp_path / "run.jsonl"
+    first, digest = _dcgen_stream(1, 256, journal=journal)
+    assert digest == golden["plan_digest"]
+    header = json.loads(journal.read_text().splitlines()[0])
+    assert header["payload"]["plan"] == golden["plan_digest"]
+    # Resume replays the journaled batches and must emit the same bytes.
+    resumed, _ = _dcgen_stream(1, 256, journal=journal, resume=True)
+    assert resumed == first == golden["dcgen"]
+
+
+def test_fixture_self_consistent(golden):
+    assert golden["spec"] == SPEC  # fixture was built from the current spec
+    for key in ("dcgen", "free"):
+        digest = hashlib.sha256("\n".join(golden[key]).encode()).hexdigest()
+        assert digest == golden[f"{key}_sha256"]

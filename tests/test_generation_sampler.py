@@ -167,3 +167,50 @@ def test_probs_always_valid(logits):
         probs = logits_to_probs(logits, cfg)
         assert np.isfinite(probs).all()
         assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-4)
+
+
+class TestCumulativeRoundingEdgeCase:
+    """Float error can leave the final cumulative sum below a draw.
+
+    With 12 equal float32 probabilities the cumulative sum tops out at
+    0.9999999 < 1.0; a uniform draw above it made every ``draws <
+    cumulative`` comparison False, and ``argmax`` silently returned
+    index 0 — the *most* probable token instead of the last one.  The
+    samplers clamp the final cumulative entry to 1.0 so such draws map
+    to the last token, as exact arithmetic would.
+    """
+
+    K = 12  # uniform float32 distribution whose cumsum peaks below 1.0
+
+    def _adversarial_draw(self):
+        logits = np.zeros((1, self.K), dtype=np.float32)
+        cumulative = np.cumsum(logits_to_probs(logits), axis=-1)
+        top = float(cumulative[0, -1])
+        assert top < 1.0, "precondition: rounding must leave cumsum below 1"
+        return (top + 1.0) / 2.0  # strictly between cumsum[-1] and 1.0
+
+    def test_choose_constrained_returns_last_allowed(self):
+        draw = self._adversarial_draw()
+        logits = np.zeros((1, self.K + 3), dtype=np.float32)
+        allowed = np.arange(3, 3 + self.K)
+        chosen = choose_constrained(logits, allowed, np.array([[draw]]))
+        assert chosen[0] == allowed[-1]
+
+    def test_sample_rows_returns_last_token(self):
+        draw = self._adversarial_draw()
+
+        class FixedRng:
+            def random(self, shape):
+                return np.full(shape, draw)
+
+        logits = np.zeros((1, self.K), dtype=np.float32)
+        mask = np.ones((1, self.K), dtype=bool)
+        chosen = sample_masked(logits, mask, FixedRng())
+        assert chosen[0] == self.K - 1
+
+    def test_ordinary_draws_unaffected(self, rng):
+        logits = rng.normal(size=(64, self.K + 5)).astype(np.float32)
+        allowed = np.arange(2, 2 + self.K)
+        draws = rng.random((64, 1))
+        chosen = choose_constrained(logits, allowed, draws)
+        assert np.isin(chosen, allowed).all()
