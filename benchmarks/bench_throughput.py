@@ -16,6 +16,13 @@ Reported per run:
   ``execute_batch`` cost before prefix deduplication).
 * **Free generation**: wall-clock and guesses/sec.
 
+The whole run executes inside a telemetry session
+(:mod:`repro.telemetry`): every phase hook doubles as a ``phase.prime``
+/ ``phase.decode`` / ``phase.sample`` span, so the JSONL trace is the
+ground truth for the phase split and the JSON report records both the
+wrapper-measured and the span-derived numbers (they must agree) plus
+the trace directory (``--telemetry DIR``, default a fresh temp dir).
+
 ``--check`` turns the run into a deterministic CI gate: it fails if the
 physical execute-phase work exceeds the planned budget (priming got
 de-deduplicated) or if the FLOPs-proxy reduction falls below 2x.
@@ -25,13 +32,14 @@ machine-dependent.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py [--scale tiny|standard]
-        [--out BENCH_throughput.json] [--check]
+        [--out BENCH_throughput.json] [--telemetry DIR] [--check]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import tempfile
 import time
 from pathlib import Path
 
@@ -72,7 +80,11 @@ def build_model():
 
 
 class PhaseTimer:
-    """Wraps the inference entry points to split time into phases."""
+    """Wraps the inference entry points to split time into phases.
+
+    Each wrapped call also runs inside a ``phase.<name>`` telemetry
+    span, so the JSONL trace carries the same split the wrapper sums.
+    """
 
     def __init__(self, model):
         self.times = {"prime": 0.0, "decode": 0.0, "sample": 0.0}
@@ -89,10 +101,13 @@ class PhaseTimer:
         dcgen_mod.choose_constrained = self._timed("sample", self._orig_choose)
 
     def _timed(self, phase, fn):
+        from repro import telemetry
+
         def wrapper(*args, **kwargs):
             t0 = time.perf_counter()
             try:
-                return fn(*args, **kwargs)
+                with telemetry.trace(f"phase.{phase}", level="debug"):
+                    return fn(*args, **kwargs)
             finally:
                 self.times[phase] += time.perf_counter() - t0
 
@@ -215,6 +230,10 @@ def main() -> int:
     parser.add_argument("--scale", choices=sorted(SCALES), default="standard")
     parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_throughput.json")
     parser.add_argument(
+        "--telemetry", type=Path, default=None, metavar="DIR",
+        help="telemetry trace directory (default: fresh temp dir)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="fail (exit 1) on deterministic perf regressions",
@@ -222,14 +241,28 @@ def main() -> int:
     args = parser.parse_args()
     scale = SCALES[args.scale]
 
+    from repro import telemetry
+
+    tele_dir = args.telemetry or Path(tempfile.mkdtemp(prefix="repro-bench-telemetry-"))
     np.seterr(all="ignore")
-    dcgen = bench_dcgen(scale)
-    free = bench_free(scale)
+    with telemetry.session(tele_dir, run_id=f"bench-{args.scale}"):
+        dcgen = bench_dcgen(scale)
+        free = bench_free(scale)
+    tele_summary = telemetry.summarize_campaign(tele_dir)
+    spans = tele_summary["spans"]
+    dcgen["span_phase_seconds"] = {
+        phase: spans.get(f"phase.{phase}", {}).get("total_s", 0.0)
+        for phase in ("prime", "decode", "sample")
+    }
     report = {
         "scale": args.scale,
         "config": {**scale, "model": MODEL_SPEC, "pattern_probs": PATTERN_PROBS, "seed": SEED},
         "dcgen": dcgen,
         "free": free,
+        "telemetry": {
+            "directory": str(tele_dir),
+            "spans": {name: agg for name, agg in list(spans.items())[:12]},
+        },
     }
 
     existing = {}
@@ -244,6 +277,8 @@ def main() -> int:
 
     print(f"D&C-GEN [{args.scale}]: {dcgen['guesses']} guesses in {dcgen['seconds']}s "
           f"({dcgen['guesses_per_sec']}/s); phases {dcgen['phase_seconds']}")
+    print(f"  span-derived phases: {dcgen['span_phase_seconds']} "
+          f"(trace: {tele_dir})")
     print(f"  model calls: divide={dcgen['model_calls']['divide']} "
           f"execute={dcgen['model_calls']['execute']} "
           f"(planned {dcgen['model_calls']['execute_planned']})")

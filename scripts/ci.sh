@@ -15,6 +15,10 @@
 #    D&C-GEN campaign that is killed after 3 journaled batches
 #    (REPRO_FAULT), resumes it, and diffs the result against a clean
 #    uninterrupted run — the streams must be byte-identical.
+# 4. Telemetry smoke: a telemetry-enabled 2-worker campaign whose merged
+#    summary must pass `repro telemetry summarize --check` (fleet guess
+#    count == planned total, zero unaccounted task failures, prompt-cache
+#    hits == planned dedup savings).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -62,3 +66,15 @@ python -m repro.cli "${GEN_ARGS[@]}" --out "$SMOKE_DIR/resumed.txt" \
     --journal "$SMOKE_DIR/run.jsonl" --resume
 diff "$SMOKE_DIR/clean_run.txt" "$SMOKE_DIR/resumed.txt"
 echo "crash-resume smoke: interrupted+resumed run is byte-identical"
+
+# ----------------------------------------------------------------------
+# Telemetry smoke (ISSUE 5): traced campaign passes its invariant gate.
+# ----------------------------------------------------------------------
+python -m repro.cli "${GEN_ARGS[@]}" --out "$SMOKE_DIR/traced.txt" \
+    --telemetry "$SMOKE_DIR/tele"
+diff "$SMOKE_DIR/clean_run.txt" "$SMOKE_DIR/traced.txt"  # telemetry never alters the stream
+test -s "$SMOKE_DIR/tele/telemetry.jsonl"
+test -s "$SMOKE_DIR/tele/campaign-summary.json"
+ls "$SMOKE_DIR"/tele/telemetry-worker-*.jsonl > /dev/null  # per-worker traces exist
+python -m repro.cli telemetry summarize "$SMOKE_DIR/tele" --check
+echo "telemetry smoke: merged campaign summary passes deterministic invariants"

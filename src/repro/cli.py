@@ -9,6 +9,7 @@ Subcommands::
     repro train     train PagPassGPT / PassGPT   -> checkpoint.npz
     repro generate  guesses from a checkpoint (guided / free / D&C-GEN)
     repro evaluate  hit rate, repeat rate, distances of a guess file
+    repro telemetry summarize a campaign telemetry directory
 
 Example end-to-end session::
 
@@ -16,17 +17,26 @@ Example end-to-end session::
     repro clean --input leak.txt --out cleaned.txt
     repro split --input cleaned.txt --prefix data
     repro train --input data.train.txt --val data.val.txt --out model.npz
-    repro generate --checkpoint model.npz -n 50000 --dcgen --out guesses.txt
+    repro generate --checkpoint model.npz -n 50000 --dcgen --out guesses.txt \\
+        --telemetry tele/ --heartbeat
+    repro telemetry summarize tele/ --check
     repro evaluate --guesses guesses.txt --test data.test.txt
+
+Observability: ``--telemetry DIR`` on ``train``/``generate`` records a
+structured JSONL trace (events, spans, metrics; one stream per process)
+and a merged ``campaign-summary.json``; ``--heartbeat`` draws a live
+progress line; ``--log-level`` / ``REPRO_LOG`` control stderr verbosity.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from . import telemetry
 from .datasets import build_corpus, clean_leak, generate_leak, split_dataset
 from .datasets.synthetic import SITES
 from .evaluation import (
@@ -50,6 +60,31 @@ def _read_lines(path: str) -> list[str]:
 
 def _write_lines(path: str, lines: Sequence[str]) -> None:
     atomic_write_text(path, "\n".join(lines) + "\n")
+
+
+def _start_telemetry(args: argparse.Namespace, run_id: str) -> bool:
+    """Open a telemetry session when ``--telemetry DIR`` was given.
+
+    The JSONL capture is always full fidelity; ``--log-level`` only
+    governs the stderr bridge (handled in :func:`main`).
+    """
+    if not getattr(args, "telemetry", None):
+        return False
+    telemetry.start_session(args.telemetry, run_id=run_id)
+    return True
+
+
+def _finish_telemetry(args: argparse.Namespace, started: bool) -> None:
+    """Close the session and write the merged ``campaign-summary.json``."""
+    if not started:
+        return
+    telemetry.end_session()
+    directory = Path(args.telemetry)
+    summary = telemetry.summarize_campaign(directory)
+    atomic_write_text(
+        directory / "campaign-summary.json", json.dumps(summary, indent=2) + "\n"
+    )
+    print(telemetry.render_summary(summary), file=sys.stderr)
 
 
 # ----------------------------------------------------------------------
@@ -136,13 +171,17 @@ def cmd_train(args: argparse.Namespace) -> int:
             resume_from = state_path
         else:
             print(f"no training state at {state_path}; starting fresh", file=sys.stderr)
-    model.fit(
-        build_corpus(train_passwords),
-        val_passwords=val_passwords,
-        log_fn=print,
-        checkpoint_path=state_path,
-        resume_from=resume_from,
-    )
+    started = _start_telemetry(args, run_id="train")
+    try:
+        model.fit(
+            build_corpus(train_passwords),
+            val_passwords=val_passwords,
+            log_fn=print,
+            checkpoint_path=state_path,
+            resume_from=resume_from,
+        )
+    finally:
+        _finish_telemetry(args, started)
     model.save(args.out)
     Path(state_path).unlink(missing_ok=True)  # campaign finished
     print(f"checkpoint written to {args.out}")
@@ -156,31 +195,41 @@ def cmd_generate(args: argparse.Namespace) -> int:
             temperature=args.temperature, top_k=args.top_k, top_p=args.top_p
         )
     journal_path = Path(args.journal or f"{args.out}.journal.jsonl")
-    if args.pattern:
-        if not hasattr(model, "generate_with_pattern"):
-            print("this model cannot do pattern guided generation", file=sys.stderr)
-            return 2
-        guesses = model.generate_with_pattern(Pattern.parse(args.pattern), args.n, seed=args.seed)
-    elif args.dcgen:
-        if not isinstance(model, PagPassGPT):
-            print("--dcgen requires a PagPassGPT checkpoint", file=sys.stderr)
-            return 2
-        generator = DCGenerator(
-            model, DCGenConfig(threshold=args.threshold, workers=args.workers)
-        )
-        guesses = generator.generate(
-            args.n, seed=args.seed, journal=journal_path, resume=args.resume
-        )
-        stats = generator.stats
-        print(f"D&C-GEN: {stats.patterns_used} patterns, {stats.leaves} leaves, "
-              f"{stats.divisions} divisions, {args.workers} worker(s)", file=sys.stderr)
-    elif isinstance(model, PagPassGPT):
-        guesses = model.generate(
-            args.n, seed=args.seed, workers=args.workers,
-            journal=journal_path, resume=args.resume,
-        )
-    else:
-        guesses = model.generate(args.n, seed=args.seed)
+    started = _start_telemetry(args, run_id="generate")
+    heartbeat = telemetry.Heartbeat(
+        args.n, enabled=True if args.heartbeat else None
+    )
+    try:
+        if args.pattern:
+            if not hasattr(model, "generate_with_pattern"):
+                print("this model cannot do pattern guided generation", file=sys.stderr)
+                return 2
+            guesses = model.generate_with_pattern(Pattern.parse(args.pattern), args.n, seed=args.seed)
+        elif args.dcgen:
+            if not isinstance(model, PagPassGPT):
+                print("--dcgen requires a PagPassGPT checkpoint", file=sys.stderr)
+                return 2
+            generator = DCGenerator(
+                model, DCGenConfig(threshold=args.threshold, workers=args.workers)
+            )
+            guesses = generator.generate(
+                args.n, seed=args.seed, journal=journal_path, resume=args.resume,
+                progress=heartbeat.update,
+            )
+            stats = generator.stats
+            print(f"D&C-GEN: {stats.patterns_used} patterns, {stats.leaves} leaves, "
+                  f"{stats.divisions} divisions, {args.workers} worker(s)", file=sys.stderr)
+        elif isinstance(model, PagPassGPT):
+            guesses = model.generate(
+                args.n, seed=args.seed, workers=args.workers,
+                journal=journal_path, resume=args.resume,
+                progress=heartbeat.update,
+            )
+        else:
+            guesses = model.generate(args.n, seed=args.seed)
+    finally:
+        heartbeat.close()
+        _finish_telemetry(args, started)
     _write_lines(args.out, guesses)
     journal_path.unlink(missing_ok=True)  # campaign finished; journal spent
     print(f"wrote {len(guesses)} guesses to {args.out}")
@@ -203,6 +252,26 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_telemetry_summarize(args: argparse.Namespace) -> int:
+    directory = Path(args.dir)
+    if not telemetry.campaign_files(directory):
+        print(f"error: no telemetry streams found in {directory}", file=sys.stderr)
+        return 2
+    summary = telemetry.summarize_campaign(directory)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(telemetry.render_summary(summary))
+    if args.check:
+        failures = telemetry.check_summary(summary)
+        for failure in failures:
+            print(f"check failed: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("all campaign invariants hold", file=sys.stderr)
+    return 0
+
+
 def _load_any(path: str) -> PagPassGPT | PassGPT:
     """Load whichever GPT model kind the checkpoint holds."""
     try:
@@ -214,6 +283,16 @@ def _load_any(path: str) -> PagPassGPT | PassGPT:
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
+
+def _add_observability_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="record a structured JSONL telemetry trace (events, "
+                        "spans, metrics) into DIR and write a merged "
+                        "campaign-summary.json")
+    p.add_argument("--log-level", default=None, choices=sorted(telemetry.LEVELS),
+                   help="stderr verbosity for telemetry events "
+                        "(default: $REPRO_LOG or warning)")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -263,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="training-state path (default: <out>.train-state.npz)")
     p.add_argument("--resume", action="store_true",
                    help="resume from the training state if it exists")
+    _add_observability_options(p)
     p.set_defaults(fn=cmd_train)
 
     p = sub.add_parser("generate", help="generate guesses from a checkpoint")
@@ -285,6 +365,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="resume an interrupted run from its journal "
                         "(output is byte-identical to an uninterrupted run)")
+    p.add_argument("--heartbeat", action="store_true",
+                   help="draw a live progress line (done/total, rate, ETA) "
+                        "even when stderr is not a TTY")
+    _add_observability_options(p)
     p.set_defaults(fn=cmd_generate)
 
     p = sub.add_parser("evaluate", help="score a guess file against a test file")
@@ -292,6 +376,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--test", required=True)
     p.add_argument("--distances", action="store_true", help="also compute eqs. 6-7")
     p.set_defaults(fn=cmd_evaluate)
+
+    p = sub.add_parser("telemetry", help="inspect campaign telemetry")
+    tsub = p.add_subparsers(dest="telemetry_command", required=True)
+    s = tsub.add_parser("summarize", help="merge a campaign's streams into one report")
+    s.add_argument("dir", help="telemetry directory written by --telemetry")
+    s.add_argument("--json", action="store_true", help="print the raw summary JSON")
+    s.add_argument("--check", action="store_true",
+                   help="verify deterministic campaign invariants "
+                        "(exit 1 on violation)")
+    s.set_defaults(fn=cmd_telemetry_summarize)
 
     return parser
 
@@ -304,6 +398,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     traceback.
     """
     args = build_parser().parse_args(argv)
+    telemetry.configure_logging(getattr(args, "log_level", None))
     try:
         return args.fn(args)
     except (CheckpointError, JournalError) as exc:

@@ -36,10 +36,11 @@ import hashlib
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..runtime import RetryPolicy, RunJournal, maybe_fail
 from ..tokenizer.patterns import Pattern
 from .sampler import (
@@ -271,60 +272,71 @@ def execute_batch(
     invariant to worker sharding; physical work is tracked separately by
     :class:`~repro.nn.InferenceCounters`.
     """
-    tokenizer = model.tokenizer
-    vocab = tokenizer.vocab
-    token_strs = vocab.token_array
-    first = batch.slices[0][0]
-    pattern = Pattern.parse(first.pattern)
-    done = first.done_chars
-    prompt_len = first.prompt_len
-    n_positions = pattern.length - done
+    with telemetry.trace(
+        "dcgen.execute_batch",
+        level="debug",
+        batch_id=batch.batch_id,
+        pattern=batch.slices[0][0].pattern,
+        rows=batch.rows,
+    ) as span:
+        tokenizer = model.tokenizer
+        vocab = tokenizer.vocab
+        token_strs = vocab.token_array
+        first = batch.slices[0][0]
+        pattern = Pattern.parse(first.pattern)
+        done = first.done_chars
+        prompt_len = first.prompt_len
+        n_positions = pattern.length - done
 
-    # One prefix row per *leaf slice*; expand maps them to guess rows.
-    counts = np.array([stop - start for _, start, stop in batch.slices])
-    expand = np.repeat(np.arange(len(batch.slices)), counts)
-    if done:
-        leaf_chars = np.stack([leaf.prefix[prompt_len:] for leaf, _, _ in batch.slices])
-    else:
-        leaf_chars = np.empty((len(batch.slices), 0), dtype=np.int64)
+        # One prefix row per *leaf slice*; expand maps them to guess rows.
+        counts = np.array([stop - start for _, start, stop in batch.slices])
+        expand = np.repeat(np.arange(len(batch.slices)), counts)
+        if done:
+            leaf_chars = np.stack([leaf.prefix[prompt_len:] for leaf, _, _ in batch.slices])
+        else:
+            leaf_chars = np.empty((len(batch.slices), 0), dtype=np.int64)
 
-    # Fully-specified prefixes need no sampling at all.
-    if n_positions == 0:
-        return ["".join(row) for row in token_strs[leaf_chars[expand]].tolist()], 0
+        # Fully-specified prefixes need no sampling at all.
+        if n_positions == 0:
+            guesses = ["".join(row) for row in token_strs[leaf_chars[expand]].tolist()]
+            span.set(guesses=len(guesses), model_calls=0)
+            return guesses, 0
 
-    # Each leaf's draw matrix is drawn whole and sliced, so a leaf that
-    # spans several batches still samples the same values per row.
-    draws = np.concatenate(
-        [
-            leaf_rng(base_seed, leaf.task_id).random((leaf.rows, n_positions))[start:stop]
-            for leaf, start, stop in batch.slices
-        ]
-    )
+        # Each leaf's draw matrix is drawn whole and sliced, so a leaf that
+        # spans several batches still samples the same values per row.
+        draws = np.concatenate(
+            [
+                leaf_rng(base_seed, leaf.task_id).random((leaf.rows, n_positions))[start:stop]
+                for leaf, start, stop in batch.slices
+            ]
+        )
 
-    prompt_logits, prompt_kv = model.prompt_cache.lookup(first.prefix[:prompt_len])
-    calls = 0
-    if done:
-        # Extend the shared prompt by each leaf's decided characters
-        # (unique rows only), then replicate to the full guess count.
-        unique_kv = prompt_kv.gather(np.zeros(len(batch.slices), dtype=np.intp))
-        unique_logits = model.inference.extend(leaf_chars, unique_kv)
-        calls += 1
-        cache = unique_kv.gather(expand)
-        logits = unique_logits[expand]
-    else:
-        cache = prompt_kv.gather(np.zeros(len(expand), dtype=np.intp))
-        logits = np.repeat(prompt_logits, len(expand), axis=0)
-
-    chosen_cols = np.empty((len(expand), n_positions), dtype=np.int64)
-    for j, position in enumerate(range(done, pattern.length)):
-        allowed = tokenizer.allowed_ids_at(pattern, position)
-        chosen = choose_constrained(logits, allowed, draws[:, j], sampler)
-        chosen_cols[:, j] = chosen
-        if position + 1 < pattern.length:
-            logits = model.inference.step(chosen, cache)
+        prompt_logits, prompt_kv = model.prompt_cache.lookup(first.prefix[:prompt_len])
+        calls = 0
+        if done:
+            # Extend the shared prompt by each leaf's decided characters
+            # (unique rows only), then replicate to the full guess count.
+            unique_kv = prompt_kv.gather(np.zeros(len(batch.slices), dtype=np.intp))
+            unique_logits = model.inference.extend(leaf_chars, unique_kv)
             calls += 1
-    all_chars = np.concatenate([leaf_chars[expand], chosen_cols], axis=1)
-    return ["".join(row) for row in token_strs[all_chars].tolist()], calls
+            cache = unique_kv.gather(expand)
+            logits = unique_logits[expand]
+        else:
+            cache = prompt_kv.gather(np.zeros(len(expand), dtype=np.intp))
+            logits = np.repeat(prompt_logits, len(expand), axis=0)
+
+        chosen_cols = np.empty((len(expand), n_positions), dtype=np.int64)
+        for j, position in enumerate(range(done, pattern.length)):
+            allowed = tokenizer.allowed_ids_at(pattern, position)
+            chosen = choose_constrained(logits, allowed, draws[:, j], sampler)
+            chosen_cols[:, j] = chosen
+            if position + 1 < pattern.length:
+                logits = model.inference.step(chosen, cache)
+                calls += 1
+        all_chars = np.concatenate([leaf_chars[expand], chosen_cols], axis=1)
+        guesses = ["".join(row) for row in token_strs[all_chars].tolist()]
+        span.set(guesses=len(guesses), model_calls=calls)
+        return guesses, calls
 
 
 def planned_execute_costs(batches: Sequence[LeafBatch]) -> dict[str, int]:
@@ -337,14 +349,20 @@ def planned_execute_costs(batches: Sequence[LeafBatch]) -> dict[str, int]:
     * ``model_calls`` — one extend per batch with decided characters,
       plus ``n_positions - 1`` single-token steps per batch;
     * ``primed_positions`` — unique-leaf rows × decided characters (the
-      priming FLOPs proxy).
+      priming FLOPs proxy);
+    * ``prompt_cache_hits`` — shared-prompt lookups the execute phase
+      will serve from the warm cache: one per batch that samples at all
+      (fully-specified batches return before touching the cache).
 
     The throughput bench compares these against the physical
     :class:`~repro.nn.InferenceCounters` of a serial run; measured work
-    above plan means priming got de-deduplicated.
+    above plan means priming got de-deduplicated.  The telemetry
+    summary's :func:`~repro.telemetry.check_summary` holds a clean
+    campaign to these numbers exactly.
     """
     calls = 0
     primed = 0
+    cache_hits = 0
     for batch in batches:
         first = batch.slices[0][0]
         n_positions = Pattern.parse(first.pattern).length - first.done_chars
@@ -353,7 +371,12 @@ def planned_execute_costs(batches: Sequence[LeafBatch]) -> dict[str, int]:
             primed += len(batch.slices) * first.done_chars
         if n_positions > 0:
             calls += n_positions - 1
-    return {"model_calls": calls, "primed_positions": primed}
+            cache_hits += 1
+    return {
+        "model_calls": calls,
+        "primed_positions": primed,
+        "prompt_cache_hits": cache_hits,
+    }
 
 
 class DCGenerator:
@@ -374,6 +397,7 @@ class DCGenerator:
         seed: int = 0,
         journal: Optional[Union[str, Path, RunJournal]] = None,
         resume: bool = False,
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> list[str]:
         """Generate ~``total`` guesses; returns the raw (ordered) stream.
 
@@ -390,33 +414,55 @@ class DCGenerator:
         even with a different worker count.  Resuming validates the
         journal's header (seed, total, plan digest) and raises
         :class:`~repro.runtime.JournalError` on mismatch.
+
+        ``progress`` is called as ``progress(done_rows, total_rows)``
+        after every completed batch (and once for journal-resumed work);
+        the CLI wires a :class:`~repro.telemetry.Heartbeat` here.  With
+        an active telemetry session the run also emits a
+        ``campaign_plan`` event carrying the full
+        :func:`planned_execute_costs` budget, a ``campaign_resume``
+        event for journal-reused work, and a ``campaign`` span.
         """
-        leaves = self.plan(total, pattern_probs)
-        batches = build_batches(leaves, self.config.gen_batch)
-        owns_journal = False
-        if journal is not None and not isinstance(journal, RunJournal):
-            header = {
-                "kind": "dcgen",
-                "seed": int(seed),
-                "total": int(total),
-                "threshold": int(self.config.threshold),
-                "gen_batch": int(self.config.gen_batch),
-                "n_batches": len(batches),
-                "plan": plan_digest(leaves),
-            }
-            journal = RunJournal.attach(journal, header, resume=resume)
-            owns_journal = True
-        try:
-            results = self._execute(batches, seed, journal)
-        finally:
-            if owns_journal:
-                journal.close()
-        out: list[str] = []
-        for guesses, calls in results:
-            out.extend(guesses)
-            self.stats.model_calls += calls
-        self.stats.generated = len(out)
-        return out
+        with telemetry.trace("campaign", kind="dcgen", requested=int(total)):
+            leaves = self.plan(total, pattern_probs)
+            batches = build_batches(leaves, self.config.gen_batch)
+            costs = planned_execute_costs(batches)
+            telemetry.emit(
+                "campaign_plan",
+                kind="dcgen",
+                requested=int(total),
+                rows=sum(b.rows for b in batches),
+                n_tasks=len(batches),
+                plan=plan_digest(leaves),
+                threshold=int(self.config.threshold),
+                gen_batch=int(self.config.gen_batch),
+                workers=int(self.config.workers),
+                **costs,
+            )
+            owns_journal = False
+            if journal is not None and not isinstance(journal, RunJournal):
+                header = {
+                    "kind": "dcgen",
+                    "seed": int(seed),
+                    "total": int(total),
+                    "threshold": int(self.config.threshold),
+                    "gen_batch": int(self.config.gen_batch),
+                    "n_batches": len(batches),
+                    "plan": plan_digest(leaves),
+                }
+                journal = RunJournal.attach(journal, header, resume=resume)
+                owns_journal = True
+            try:
+                results = self._execute(batches, seed, journal, progress)
+            finally:
+                if owns_journal:
+                    journal.close()
+            out: list[str] = []
+            for guesses, calls in results:
+                out.extend(guesses)
+                self.stats.model_calls += calls
+            self.stats.generated = len(out)
+            return out
 
     # ------------------------------------------------------------------
     # Divide phase
@@ -432,6 +478,20 @@ class DCGenerator:
         (``patterns_used``, ``divisions``, ``deleted_tasks``, ``leaves``
         and the divide-phase share of ``model_calls``).
         """
+        with telemetry.trace("dcgen.plan", total=int(total)) as span:
+            leaves = self._plan(total, pattern_probs)
+            span.set(
+                leaves=len(leaves),
+                patterns=self.stats.patterns_used,
+                divisions=self.stats.divisions,
+            )
+            return leaves
+
+    def _plan(
+        self,
+        total: int,
+        pattern_probs: Optional[dict[str, float]] = None,
+    ) -> list[LeafTask]:
         model = self.model
         if not model.is_fitted:
             raise RuntimeError("PagPassGPT must be fitted before running D&C-GEN")
@@ -580,6 +640,7 @@ class DCGenerator:
         batches: list[LeafBatch],
         seed: int,
         journal: Optional[RunJournal] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> list[tuple[list[str], int]]:
         """Run all batches serially or on a pool, in batch order.
 
@@ -596,8 +657,20 @@ class DCGenerator:
                         int(payload["model_calls"]),
                     )
         pending = [b for b in batches if b.batch_id not in results]
+        total_rows = sum(b.rows for b in batches)
+        done_rows = sum(len(guesses) for guesses, _ in results.values())
+        if results:
+            telemetry.emit(
+                "campaign_resume",
+                tasks=len(results),
+                guesses=done_rows,
+                model_calls=sum(calls for _, calls in results.values()),
+            )
+        if progress is not None:
+            progress(done_rows, total_rows)
 
         def on_result(position: int, value) -> None:
+            nonlocal done_rows
             batch = pending[position]
             guesses, calls = value
             maybe_fail("leaf_batch")
@@ -608,6 +681,9 @@ class DCGenerator:
                     {"guesses": list(guesses), "model_calls": int(calls)},
                 )
             results[batch.batch_id] = (guesses, calls)
+            done_rows += len(guesses)
+            if progress is not None:
+                progress(done_rows, total_rows)
 
         if self.config.workers > 1 and len(pending) > 1:
             from .parallel import execute_batches_parallel

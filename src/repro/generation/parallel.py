@@ -55,6 +55,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..runtime import RetryPolicy, maybe_fail, supervised_map
 from .dcgen import LeafBatch, execute_batch
 from .sampler import GEN_BATCH, SamplerConfig
@@ -87,7 +88,32 @@ def _check_crash_hook() -> None:
         raise RuntimeError(f"worker crash injected via {CRASH_ENV}")
 
 
-def _init_from_checkpoint(path, tokenizer, sampler, tasks, base_seed) -> None:
+def _parent_telemetry_args() -> Optional[tuple[str, str, str]]:
+    """Session init args to ship to workers, or ``None`` (telemetry off)."""
+    sess = telemetry.active()
+    if sess is None:
+        return None
+    return (str(sess.dir), sess.run_id, sess.level)
+
+
+def _init_worker_telemetry(tele: Optional[tuple[str, str, str]]) -> None:
+    """Open this worker's own ``telemetry-worker-<pid>.jsonl`` stream.
+
+    Replaces any session inherited via fork (the parent's stream must
+    only ever be written by the parent) and marks the metrics registry,
+    so everything the worker reports is its own delta.
+    """
+    if tele is not None:
+        directory, run_id, level = tele
+        telemetry.start_session(directory, run_id=run_id, worker=os.getpid(), level=level)
+
+
+def _init_fork_worker(tele: Optional[tuple[str, str, str]]) -> None:
+    """Pool initializer for the fork path (model arrives copy-on-write)."""
+    _init_worker_telemetry(tele)
+
+
+def _init_from_checkpoint(path, tokenizer, sampler, tasks, base_seed, tele=None) -> None:
     """Pool initializer for non-fork start methods.
 
     Rebuilds the model once per worker from an explicit weight blob (a
@@ -96,6 +122,7 @@ def _init_from_checkpoint(path, tokenizer, sampler, tasks, base_seed) -> None:
     global _CTX
     from ..models.pagpassgpt import PagPassGPT
 
+    _init_worker_telemetry(tele)
     model = PagPassGPT.load(path)
     model.tokenizer = tokenizer
     model.sampler = sampler
@@ -130,9 +157,16 @@ def _guard(runner: Callable[[int], object], index: int) -> tuple[int, bool, obje
     to its task index rather than lose the whole map.
     """
     try:
-        return (index, True, runner(index))
+        result = (index, True, runner(index))
     except BaseException as exc:  # noqa: BLE001 — see docstring
         return (index, False, f"{type(exc).__name__}: {exc}")
+    # Refresh this worker's final metrics snapshot after every completed
+    # task: workers die by Pool.terminate(), so there is no shutdown hook
+    # — the last snapshot written is the worker's final accounting.
+    sess = telemetry.active()
+    if sess is not None and sess.worker is not None:
+        sess.emit_metrics()
+    return result
 
 
 def _guarded_batch(index: int) -> tuple[int, bool, object]:
@@ -170,6 +204,8 @@ def _run_pool(
     sampler = model.sampler
     workers = max(1, min(workers, len(tasks)))
 
+    tele = _parent_telemetry_args()
+
     if start_method == "fork":
         ctx = mp.get_context("fork")
         _CTX = _WorkerContext(
@@ -177,7 +213,9 @@ def _run_pool(
         )
         try:
             return supervised_map(
-                lambda: ctx.Pool(processes=workers),
+                lambda: ctx.Pool(
+                    processes=workers, initializer=_init_fork_worker, initargs=(tele,)
+                ),
                 guarded,
                 len(tasks),
                 policy=policy,
@@ -198,7 +236,7 @@ def _run_pool(
         factory = lambda: ctx.Pool(  # noqa: E731
             processes=workers,
             initializer=_init_from_checkpoint,
-            initargs=(str(path), model.tokenizer, sampler, tuple(tasks), base_seed),
+            initargs=(str(path), model.tokenizer, sampler, tuple(tasks), base_seed, tele),
         )
         return supervised_map(
             factory,

@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import warnings
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..datasets.corpus import PasswordCorpus
 from ..generation.sampler import GEN_BATCH, SamplerConfig, sample_constrained, sample_masked
 from ..nn import GPT2Config, GPT2Inference, GPT2Model, PromptCache
@@ -226,6 +227,7 @@ class PagPassGPT(PatternGuidedGuesser):
         workers: int = 1,
         journal: Optional[Union[str, Path, RunJournal]] = None,
         resume: bool = False,
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> list[str]:
         """Trawling approach 1: feed only ``<BOS>``, model writes the rest.
 
@@ -246,72 +248,119 @@ class PagPassGPT(PatternGuidedGuesser):
         ones.  ``journal`` (path or open :class:`RunJournal`) makes the
         run resumable: with ``resume=True`` journaled chunks are reused
         and the merged stream is byte-identical to an uninterrupted run.
+
+        ``progress(done_rows, total_rows)`` fires after every completed
+        chunk; with an active telemetry session the run emits
+        ``campaign_plan`` / ``campaign_resume`` events and a
+        ``campaign`` span, mirroring D&C-GEN campaigns.
         """
         self._require_fitted(self._fitted)
         if n <= 0:
             return []
         from ..generation.parallel import execute_free_chunks_parallel, free_chunks
 
-        chunks = free_chunks(n)
-        # Warm the <BOS> prompt before any dispatch so forked workers
-        # inherit the primed entry copy-on-write instead of re-priming.
-        self.prompt_cache.lookup(np.array([self.tokenizer.vocab.bos_id], dtype=np.int64))
-        owns_journal = False
-        if journal is not None and not isinstance(journal, RunJournal):
-            header = {"kind": "free", "seed": int(seed), "n": int(n),
-                      "gen_batch": int(GEN_BATCH), "n_chunks": len(chunks)}
-            journal = RunJournal.attach(journal, header, resume=resume)
-            owns_journal = True
-        try:
-            results: dict[int, list[str]] = {}
+        with telemetry.trace("campaign", kind="free", requested=int(n)):
+            chunks = free_chunks(n)
+            telemetry.emit(
+                "campaign_plan",
+                kind="free",
+                requested=int(n),
+                rows=int(n),
+                n_tasks=len(chunks),
+                gen_batch=int(GEN_BATCH),
+                workers=int(workers),
+            )
+            # Warm the <BOS> prompt before any dispatch so forked workers
+            # inherit the primed entry copy-on-write instead of re-priming.
+            self.prompt_cache.lookup(np.array([self.tokenizer.vocab.bos_id], dtype=np.int64))
+            owns_journal = False
+            if journal is not None and not isinstance(journal, RunJournal):
+                header = {"kind": "free", "seed": int(seed), "n": int(n),
+                          "gen_batch": int(GEN_BATCH), "n_chunks": len(chunks)}
+                journal = RunJournal.attach(journal, header, resume=resume)
+                owns_journal = True
+            try:
+                return self._generate_free(
+                    chunks, seed, workers, journal, progress
+                )
+            finally:
+                if owns_journal:
+                    journal.close()
+
+    def _generate_free(
+        self,
+        chunks: list[tuple[int, int]],
+        seed: int,
+        workers: int,
+        journal: Optional[RunJournal],
+        progress: Optional[Callable[[int, int], None]],
+    ) -> list[str]:
+        from ..generation.parallel import execute_free_chunks_parallel
+
+        results: dict[int, list[str]] = {}
+        if journal is not None:
+            for index, payload in journal.completed("free_chunk").items():
+                if 0 <= index < len(chunks):
+                    results[index] = list(payload["guesses"])
+        pending = [c for c in chunks if c[0] not in results]
+        total_rows = sum(rows for _, rows in chunks)
+        done_rows = sum(len(v) for v in results.values())
+        if results:
+            telemetry.emit(
+                "campaign_resume", tasks=len(results), guesses=done_rows, model_calls=0
+            )
+        if progress is not None:
+            progress(done_rows, total_rows)
+
+        def on_result(position: int, value: list[str]) -> None:
+            nonlocal done_rows
+            chunk_index = pending[position][0]
+            maybe_fail("free_chunk")
             if journal is not None:
-                for index, payload in journal.completed("free_chunk").items():
-                    if 0 <= index < len(chunks):
-                        results[index] = list(payload["guesses"])
-            pending = [c for c in chunks if c[0] not in results]
+                journal.record("free_chunk", chunk_index, {"guesses": list(value)})
+            results[chunk_index] = value
+            done_rows += len(value)
+            if progress is not None:
+                progress(done_rows, total_rows)
 
-            def on_result(position: int, value: list[str]) -> None:
-                chunk_index = pending[position][0]
-                maybe_fail("free_chunk")
-                if journal is not None:
-                    journal.record("free_chunk", chunk_index, {"guesses": list(value)})
-                results[chunk_index] = value
-
-            if workers > 1 and len(pending) > 1:
-                try:
-                    execute_free_chunks_parallel(
-                        self, pending, seed, workers, on_result=on_result
-                    )
-                except Exception as exc:
-                    warnings.warn(
-                        f"parallel free generation failed ({exc!r}); "
-                        "falling back to serial execution",
-                        RuntimeWarning,
-                        stacklevel=2,
-                    )
-                    for position, (index, batch) in enumerate(pending):
-                        if index in results:
-                            continue  # journaled before the failure
-                        on_result(
-                            position,
-                            self._generate_free_batch(
-                                batch, np.random.default_rng((seed, index))
-                            ),
-                        )
-            else:
+        if workers > 1 and len(pending) > 1:
+            try:
+                execute_free_chunks_parallel(
+                    self, pending, seed, workers, on_result=on_result
+                )
+            except Exception as exc:
+                warnings.warn(
+                    f"parallel free generation failed ({exc!r}); "
+                    "falling back to serial execution",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 for position, (index, batch) in enumerate(pending):
+                    if index in results:
+                        continue  # journaled before the failure
                     on_result(
                         position,
                         self._generate_free_batch(
                             batch, np.random.default_rng((seed, index))
                         ),
                     )
-            return [pw for index, _ in chunks for pw in results[index]]
-        finally:
-            if owns_journal:
-                journal.close()
+        else:
+            for position, (index, batch) in enumerate(pending):
+                on_result(
+                    position,
+                    self._generate_free_batch(
+                        batch, np.random.default_rng((seed, index))
+                    ),
+                )
+        return [pw for index, _ in chunks for pw in results[index]]
 
     def _generate_free_batch(self, batch: int, rng: np.random.Generator) -> list[str]:
+        with telemetry.trace("free.chunk", level="debug", rows=int(batch)) as span:
+            guesses = self._free_batch_body(batch, rng)
+            span.set(guesses=len(guesses), model_calls=0)
+            return guesses
+
+    def _free_batch_body(self, batch: int, rng: np.random.Generator) -> list[str]:
         tokenizer = self.tokenizer
         vocab = tokenizer.vocab
         max_len = tokenizer.max_password_length

@@ -34,6 +34,7 @@ from dataclasses import dataclass, fields
 
 import numpy as np
 
+from ..telemetry.metrics import get_registry
 from .transformer import GPT2Model
 
 _NEG_INF = -1e9
@@ -99,6 +100,11 @@ class InferenceCounters:
     def reset(self) -> None:
         for field in fields(self):
             setattr(self, field.name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat view — the provider registered as the ``inference`` metric
+        group on the default :class:`~repro.telemetry.MetricsRegistry`."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}
 
 
 class KVCache:
@@ -224,6 +230,12 @@ class GPT2Inference:
         # whole activation chain to float64 under NEP-50 promotion.
         self._kscale = np.float32(np.sqrt(cfg.dim // cfg.n_heads))
         self.counters = InferenceCounters()
+        # Absorb the counters into the telemetry registry as a metric
+        # group: span deltas and campaign snapshots see them as
+        # ``inference.<field>``.  The newest engine owns the name (one
+        # live model per process in practice); the provider holds only
+        # the small counters dataclass, never the weights.
+        get_registry().register_group("inference", self.counters.as_dict)
 
     # ------------------------------------------------------------------
     # Full-sequence forward (no cache)
@@ -420,9 +432,19 @@ class PromptCache:
         self._entries: OrderedDict[bytes, tuple[np.ndarray, KVCache]] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime hit/miss/eviction counts plus the current size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+        }
 
     def lookup(self, prompt_ids: np.ndarray) -> tuple[np.ndarray, KVCache]:
         """``(logits, trimmed_cache)`` for a 1-D prompt, priming on miss.
@@ -435,14 +457,18 @@ class PromptCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            get_registry().counter("prompt_cache.hits").inc()
             self._entries.move_to_end(key)
             return entry
         self.misses += 1
+        get_registry().counter("prompt_cache.misses").inc()
         logits, cache = self.inference.start(ids[None, :])
         entry = (logits, cache.trimmed())
         self._entries[key] = entry
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            get_registry().counter("prompt_cache.evictions").inc()
         return entry
 
     def expand(self, prompt_ids: np.ndarray, rows: int) -> tuple[np.ndarray, KVCache]:

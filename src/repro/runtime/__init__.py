@@ -13,7 +13,7 @@ The paper's real workloads run for days (25 GPU-hours of training, up to
   corrupt) that the fault-tolerance tests drive.
 """
 
-from .atomic import atomic_write, atomic_write_bytes, atomic_write_text
+from .atomic import AppendStream, atomic_write, atomic_write_bytes, atomic_write_text
 from .faults import (
     FAULT_ENV,
     FAULT_STATE_ENV,
@@ -26,6 +26,7 @@ from .journal import JournalError, RunJournal, file_digest
 from .retry import RetryPolicy, retry_call, supervised_map
 
 __all__ = [
+    "AppendStream",
     "atomic_write",
     "atomic_write_bytes",
     "atomic_write_text",

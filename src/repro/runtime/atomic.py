@@ -64,6 +64,51 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> None:
         fh.write(data)
 
 
+class AppendStream:
+    """Crash-tolerant line appender: ``O_APPEND`` + one ``os.write`` per line.
+
+    The journal and telemetry streams are JSONL files that must survive
+    ``Pool.terminate`` and hard crashes with at most a torn *tail*.  A
+    single ``write(2)`` on an ``O_APPEND`` descriptor is atomic with
+    respect to concurrent appenders (for the line sizes involved here),
+    so interleaved writers — e.g. several worker processes sharing a log
+    — never interleave bytes *within* a line, and there is no userspace
+    buffer to lose on an abrupt kill.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+
+    def write_line(self, line: str) -> None:
+        """Append one line (a trailing newline is added if missing)."""
+        if not line.endswith("\n"):
+            line += "\n"
+        os.write(self._fd, line.encode("utf-8"))
+
+    def fsync(self) -> None:
+        try:
+            os.fsync(self._fd)
+        except OSError:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._fd is None
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "AppendStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> None:
     """Atomically replace ``path`` with ``text``."""
     atomic_write_bytes(path, text.encode(encoding))

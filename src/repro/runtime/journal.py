@@ -144,9 +144,13 @@ class RunJournal:
 
     def record(self, kind: str, task_id: int, payload: Any) -> None:
         """Append one completed task; durable once this returns."""
-        self._fh.write(self._encode({"kind": kind, "task_id": int(task_id), "payload": payload}))
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        from .. import telemetry  # lazy: telemetry's logger builds on runtime.atomic
+
+        with telemetry.trace("journal.record", level="debug", kind=kind, task_id=int(task_id)):
+            self._fh.write(self._encode({"kind": kind, "task_id": int(task_id), "payload": payload}))
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        telemetry.get_registry().counter("journal.records").inc()
         self._records[(kind, int(task_id))] = payload
 
     def completed(self, kind: str) -> dict[int, Any]:

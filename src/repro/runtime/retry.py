@@ -93,17 +93,45 @@ def supervised_map(
     in-parent last resort for tasks whose retries are exhausted.
 
     Returns results ordered by task index.
+
+    Every supervision decision is also emitted as a structured telemetry
+    event (no-ops without an active session): ``task_failed`` per failed
+    attempt — with the task index and exception repr, so post-mortems
+    never require a rerun — ``task_recovered`` when a previously-failed
+    task finally delivers, ``pool_rebuild`` on hung-pool replacement, and
+    ``serial_fallback`` per exhausted task run in the parent.
     """
+    from .. import telemetry  # lazy: runtime is imported during telemetry init
+
+    registry = telemetry.get_registry()
     results: dict[int, Any] = {}
     pending = set(range(n_tasks))
     last_error: dict[int, str] = {}
+    failed: set[int] = set()
     pool = None
 
     def deliver(index: int, value: Any) -> None:
         pending.discard(index)
         results[index] = value
+        if index in failed:
+            failed.discard(index)
+            registry.counter("retry.tasks_recovered").inc()
+            telemetry.emit("task_recovered", context=context, task=index)
         if on_result is not None:
             on_result(index, value)
+
+    def record_failure(index: int, error: str, attempt: int) -> None:
+        last_error[index] = error
+        failed.add(index)
+        registry.counter("retry.task_failures").inc()
+        telemetry.emit(
+            "task_failed",
+            level="warning",
+            context=context,
+            task=index,
+            error=error,
+            attempt=attempt,
+        )
 
     try:
         for attempt in range(policy.max_retries + 1):
@@ -128,7 +156,7 @@ def supervised_map(
                 if ok:
                     deliver(index, value)
                 else:
-                    last_error[index] = value
+                    record_failure(index, value, attempt)
             if timed_out:
                 # A wedged worker can only be reclaimed by killing the
                 # pool; completed results are already delivered, only
@@ -136,6 +164,14 @@ def supervised_map(
                 pool.terminate()
                 pool.join()
                 pool = None
+                registry.counter("retry.pool_rebuilds").inc()
+                telemetry.emit(
+                    "pool_rebuild",
+                    level="warning",
+                    context=context,
+                    pending=sorted(pending),
+                    attempt=attempt,
+                )
     finally:
         if pool is not None:
             pool.terminate()
@@ -158,5 +194,13 @@ def supervised_map(
             stacklevel=2,
         )
         for index in sorted(pending):
+            registry.counter("retry.serial_fallbacks").inc()
+            telemetry.emit(
+                "serial_fallback",
+                level="warning",
+                context=context,
+                task=index,
+                error=last_error.get(index, "timed out"),
+            )
             deliver(index, serial_fn(index))
     return [results[i] for i in range(n_tasks)]

@@ -1,0 +1,90 @@
+"""Live single-line progress heartbeat for long generation campaigns.
+
+Renders ``\\r``-rewritten status like::
+
+    guesses 14200/50000 (28.4%) 3521/s ETA 10s
+
+The clock is injectable so tests can drive it deterministically, and the
+line is only emitted when the target stream is a TTY (or when forced),
+so piped/CI output stays clean.  The heartbeat never touches rng or
+metrics — it is pure presentation over a ``(done, total)`` callback.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+
+def format_eta(seconds: float) -> str:
+    """Compact duration: ``41s``, ``3m20s``, ``2h05m``."""
+    seconds = max(0, int(round(seconds)))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class Heartbeat:
+    """Throttled progress line; call :meth:`update` from a progress hook."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "guesses",
+        stream=None,
+        interval: float = 0.5,
+        clock=time.monotonic,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        self.total = max(0, int(total))
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self._clock = clock
+        if enabled is None:
+            enabled = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.enabled = enabled
+        self._started = self._clock()
+        self._last_emit: Optional[float] = None
+        self.rendered = 0  # lines written (tests assert throttling)
+
+    def render(self, done: int) -> str:
+        """The current status line (without the leading ``\\r``)."""
+        now = self._clock()
+        elapsed = max(now - self._started, 1e-9)
+        rate = done / elapsed
+        pct = 100.0 * done / self.total if self.total else 100.0
+        if rate > 0 and self.total:
+            eta = format_eta((self.total - done) / rate)
+        else:
+            eta = "?"
+        return (
+            f"{self.label} {done}/{self.total} ({pct:.1f}%) "
+            f"{rate:.0f}/s ETA {eta}"
+        )
+
+    def update(self, done: int, total: Optional[int] = None) -> None:
+        """Report progress; redraws at most once per ``interval`` seconds."""
+        if total is not None:
+            self.total = int(total)
+        if not self.enabled:
+            return
+        now = self._clock()
+        finished = self.total and done >= self.total
+        if not finished and self._last_emit is not None and now - self._last_emit < self.interval:
+            return
+        self._last_emit = now
+        self.rendered += 1
+        self.stream.write("\r" + self.render(done).ljust(60))
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Terminate the status line (newline) if anything was drawn."""
+        if self.enabled and self.rendered:
+            self.stream.write("\n")
+            self.stream.flush()

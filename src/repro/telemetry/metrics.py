@@ -1,0 +1,200 @@
+"""Process-local metrics registry: counters, gauges, log-scale histograms.
+
+Metric values deliberately contain **no wall-clock quantities** — only
+monotonically accumulated counts, explicitly-set gauges, and fixed
+log-scale histogram buckets — so that two identical seeded campaigns
+produce byte-identical snapshots and tests can compare them directly
+(durations/timestamps live in the JSONL event stream instead, where the
+aggregation layer knows to exclude them from determinism checks).
+
+The registry is cheap enough to keep always-on: hot paths
+(:class:`repro.nn.PromptCache`, the retry supervisor, journal writes)
+tick counters unconditionally, and span tracing reads
+:meth:`MetricsRegistry.values` before/after each span to report deltas.
+
+External metric sources plug in as *groups*
+(:meth:`MetricsRegistry.register_group`): a group is a callable
+returning a flat ``name -> number`` dict, polled lazily at snapshot
+time.  :class:`repro.nn.InferenceCounters` is absorbed this way — the
+dataclass keeps its cheap attribute increments on the decode hot path,
+but its values appear in every snapshot and span delta as
+``inference.<field>``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-value-wins metric (e.g. queue depth, cache size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed log2-bucket histogram of non-negative observations.
+
+    Bucket ``i`` counts observations with ``value <= 2**i`` (the last
+    bucket is unbounded).  Bucket bounds are fixed at construction, so
+    two runs observing the same values produce identical snapshots —
+    no adaptive resizing, no wall-clock.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total")
+
+    def __init__(self, name: str, max_exponent: int = 24) -> None:
+        self.name = name
+        #: Inclusive upper bounds; observations above the last finite
+        #: bound land in the overflow bucket.
+        self.bounds = [2 ** i for i in range(max_exponent + 1)]
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total: Number = 0
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def snapshot(self) -> dict:
+        # Only non-empty buckets, keyed by their bound, keeps snapshots
+        # small and stable.
+        buckets = {
+            str(self.bounds[i]) if i < len(self.bounds) else "inf": c
+            for i, c in enumerate(self.bucket_counts)
+            if c
+        }
+        return {"count": self.count, "total": self.total, "buckets": buckets}
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics plus pluggable groups."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._groups: Dict[str, Callable[[], Dict[str, Number]]] = {}
+
+    # ------------------------------------------------------------------
+    # Get-or-create accessors
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str, max_exponent: int = 24) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, max_exponent)
+            return metric
+
+    def register_group(self, name: str, provider: Callable[[], Dict[str, Number]]) -> None:
+        """Attach an external metric source polled at snapshot time.
+
+        Re-registering a name replaces the previous provider (a fresh
+        :class:`~repro.nn.GPT2Inference` supersedes the one it was built
+        to replace).
+        """
+        with self._lock:
+            self._groups[name] = provider
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def values(self) -> Dict[str, Number]:
+        """Flat ``name -> value`` view of counters, gauges and groups.
+
+        This is the cheap poll span tracing diffs before/after a span;
+        histograms are excluded (their deltas are not a single number).
+        """
+        out: Dict[str, Number] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for group, provider in self._groups.items():
+            for key, value in provider().items():
+                out[f"{group}.{key}"] = value
+        return out
+
+    def snapshot(self) -> dict:
+        """Structured, JSON-ready view of every metric (deterministic)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.snapshot() for n, h in sorted(self._histograms.items())},
+            "groups": {
+                n: dict(sorted(provider().items()))
+                for n, provider in sorted(self._groups.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every metric and group (test isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._groups.clear()
+
+
+#: Process-global default registry.  Forked workers inherit a copy; the
+#: session layer reports *deltas* against a start mark, so inherited
+#: parent counts never pollute per-worker numbers.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _REGISTRY
+
+
+def values_delta(before: Dict[str, Number], after: Dict[str, Number]) -> Dict[str, Number]:
+    """Non-zero differences ``after - before`` (new names count from 0)."""
+    delta: Dict[str, Number] = {}
+    for name, value in after.items():
+        diff = value - before.get(name, 0)
+        if diff:
+            delta[name] = diff
+    return delta

@@ -1,0 +1,200 @@
+"""Telemetry sessions and nested span tracing.
+
+A :class:`TelemetrySession` binds one process to one campaign telemetry
+directory: the parent writes ``telemetry.jsonl``, each worker process
+writes ``telemetry-worker-<pid>.jsonl``.  The session also marks the
+metrics registry at start so everything it reports is a **delta** — a
+forked worker inherits the parent's counter values copy-on-write, and
+deltas are what keep per-worker numbers clean.
+
+:func:`trace` is the span primitive::
+
+    with trace("dcgen.execute_batch", batch_id=3) as span:
+        ...
+        span.set(guesses=len(out), model_calls=calls)
+
+On exit one ``span`` event is emitted carrying the span's name, id,
+parent id, wall duration, merged attributes, and the non-zero registry
+counter deltas observed while it was open.  Spans nest via a per-session
+stack; with no active session :func:`trace` is a cheap no-op.
+
+Everything here is deliberately optional: production code calls
+:func:`emit` / :func:`trace` unconditionally, and pays nothing beyond an
+``is None`` check until a session is started (by the CLI, the bench, or
+a worker initializer).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from .logger import TelemetryLogger
+from .metrics import get_registry, values_delta
+
+
+class Span:
+    """Mutable attribute bag yielded by :func:`trace`."""
+
+    __slots__ = ("name", "span_id", "parent_id", "attrs")
+
+    def __init__(self, name: str, span_id: int, parent_id: Optional[int], attrs: dict) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        """Attach result attributes reported in the span record."""
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    """Span stand-in when no session is active; ``set`` is a no-op."""
+
+    __slots__ = ()
+    name = None
+    span_id = None
+    parent_id = None
+    attrs: dict = {}
+
+    def set(self, **attrs) -> None:  # noqa: D102 — deliberate no-op
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class TelemetrySession:
+    """One process's handle on a campaign telemetry directory."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        run_id: str = "run",
+        worker: Optional[int] = None,
+        level: str = "debug",
+        clock=time.time,
+    ) -> None:
+        self.dir = Path(directory)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        name = "telemetry.jsonl" if worker is None else f"telemetry-worker-{worker}.jsonl"
+        self.worker = worker
+        self.run_id = run_id
+        self.level = level
+        self.logger = TelemetryLogger(
+            self.dir / name, run_id=run_id, worker=worker, level=level, clock=clock
+        )
+        self.registry = get_registry()
+        #: Pid that created the session (a forked child must not close
+        #: the parent's stream when it replaces the inherited session).
+        self.pid = os.getpid()
+        #: Registry mark: everything the session reports is relative to it.
+        self._mark = self.registry.values()
+        self._span_stack: list[int] = []
+        self._span_ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    def metrics_delta(self) -> dict:
+        """Non-zero counter/gauge/group changes since the session started."""
+        return values_delta(self._mark, self.registry.values())
+
+    def emit_metrics(self, event: str = "metrics_snapshot") -> None:
+        """Record the current session-relative metrics delta."""
+        self.logger.emit(event, metrics=self.metrics_delta())
+
+    def close(self, emit_snapshot: bool = True) -> None:
+        if not self.logger.closed:
+            if emit_snapshot:
+                self.emit_metrics()
+            self.logger.close()
+
+
+#: The process's active session (``None`` when telemetry is off).
+_SESSION: Optional[TelemetrySession] = None
+
+
+def start_session(
+    directory: Union[str, Path],
+    run_id: str = "run",
+    worker: Optional[int] = None,
+    level: str = "debug",
+    clock=time.time,
+) -> TelemetrySession:
+    """Activate a session for this process (replacing any current one).
+
+    A forked worker inherits the parent's session object; its
+    initializer calls this to replace it with a per-worker stream —
+    the parent's descriptor stays untouched in the child.
+    """
+    global _SESSION
+    if _SESSION is not None and _SESSION.pid == os.getpid():
+        # Replacing an open same-process session: close it cleanly first.
+        _SESSION.close()
+    _SESSION = TelemetrySession(directory, run_id=run_id, worker=worker, level=level, clock=clock)
+    return _SESSION
+
+
+def end_session(emit_snapshot: bool = True) -> None:
+    """Close and deactivate the process's session (no-op when none)."""
+    global _SESSION
+    if _SESSION is not None:
+        if _SESSION.pid == os.getpid():
+            _SESSION.close(emit_snapshot=emit_snapshot)
+        # An inherited (forked) session is just dropped: writing a
+        # snapshot into the parent's stream would corrupt its accounting.
+        _SESSION = None
+
+
+def active() -> Optional[TelemetrySession]:
+    """The process's active session, or ``None``."""
+    return _SESSION
+
+
+@contextmanager
+def session(directory: Union[str, Path], **kwargs) -> Iterator[TelemetrySession]:
+    """``with session(dir):`` — start, then always end."""
+    sess = start_session(directory, **kwargs)
+    try:
+        yield sess
+    finally:
+        end_session()
+
+
+def emit(event: str, level: str = "info", **fields) -> None:
+    """Emit an event on the active session; silently dropped when none."""
+    sess = _SESSION
+    if sess is not None:
+        sess.logger.emit(event, level=level, **fields)
+
+
+@contextmanager
+def trace(name: str, level: str = "info", **attrs) -> Iterator[Span]:
+    """Time a block as a nested span with registry counter deltas."""
+    sess = _SESSION
+    if sess is None:
+        yield _NULL_SPAN
+        return
+    span = Span(name, next(sess._span_ids), sess._span_stack[-1] if sess._span_stack else None, dict(attrs))
+    before = sess.registry.values()
+    sess._span_stack.append(span.span_id)
+    started = time.perf_counter()
+    try:
+        yield span
+    finally:
+        duration = time.perf_counter() - started
+        sess._span_stack.pop()
+        sess.logger.emit(
+            "span",
+            level=level,
+            name=name,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            duration_s=round(duration, 6),
+            attrs=span.attrs,
+            delta=values_delta(before, sess.registry.values()),
+        )

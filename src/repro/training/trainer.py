@@ -28,6 +28,7 @@ from typing import Any, Callable, Optional, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..autograd import no_grad
 from ..nn import AdamW, GPT2Model, WarmupLinear, clip_grad_norm
 from ..nn.serialization import CheckpointError, _load_npz
@@ -270,77 +271,89 @@ class Trainer:
             )
         track_best = bool(cfg.early_stop_patience)
         self.model.train()
-        for epoch in range(start_epoch, cfg.epochs):
-            epoch_loss, seen = 0.0, 0
-            for step, batch in enumerate(loader):
-                schedule.step()
-                optimizer.zero_grad()
-                loss = self.model.loss(batch, pad_token_id=self.pad_id)
-                loss.backward()
-                if cfg.grad_clip:
-                    clip_grad_norm(params, cfg.grad_clip)
-                optimizer.step()
-                epoch_loss += loss.item() * len(batch)
-                seen += len(batch)
-                if cfg.log_every and step % cfg.log_every == 0:
-                    self._log(f"epoch {epoch} step {step}/{len(loader)} loss {loss.item():.4f}")
-            history.train_loss.append(epoch_loss / seen)
+        registry = telemetry.get_registry()
+        with telemetry.trace(
+            "train.fit", epochs=int(cfg.epochs), start_epoch=int(start_epoch)
+        ) as fit_span:
+            for epoch in range(start_epoch, cfg.epochs):
+                with telemetry.trace("train.epoch", epoch=int(epoch)) as epoch_span:
+                    epoch_loss, seen = 0.0, 0
+                    for step, batch in enumerate(loader):
+                        schedule.step()
+                        optimizer.zero_grad()
+                        loss = self.model.loss(batch, pad_token_id=self.pad_id)
+                        loss.backward()
+                        if cfg.grad_clip:
+                            clip_grad_norm(params, cfg.grad_clip)
+                        optimizer.step()
+                        registry.counter("train.steps").inc()
+                        epoch_loss += loss.item() * len(batch)
+                        seen += len(batch)
+                        if cfg.log_every and step % cfg.log_every == 0:
+                            self._log(f"epoch {epoch} step {step}/{len(loader)} loss {loss.item():.4f}")
+                    history.train_loss.append(epoch_loss / seen)
+                    epoch_span.set(train_loss=round(history.train_loss[-1], 6))
 
-            stop = False
-            if val_ids is not None and len(val_ids):
-                val = self.evaluate(val_ids)
-                history.val_loss.append(val)
-                if val < history.best_val_loss:
-                    history.best_val_loss = val
-                    history.best_epoch = epoch
-                    bad_epochs = 0
-                    if track_best:
-                        best_state = {
-                            name: value.copy()
-                            for name, value in self.model.state_dict().items()
-                        }
-                else:
-                    bad_epochs += 1
-                self._log(
-                    f"epoch {epoch}: train {history.train_loss[-1]:.4f} val {val:.4f}"
-                )
-                if cfg.early_stop_patience and bad_epochs >= cfg.early_stop_patience:
-                    stop = True
-            else:
-                self._log(f"epoch {epoch}: train {history.train_loss[-1]:.4f}")
+                    stop = False
+                    if val_ids is not None and len(val_ids):
+                        val = self.evaluate(val_ids)
+                        history.val_loss.append(val)
+                        epoch_span.set(val_loss=round(val, 6))
+                        if val < history.best_val_loss:
+                            history.best_val_loss = val
+                            history.best_epoch = epoch
+                            bad_epochs = 0
+                            if track_best:
+                                best_state = {
+                                    name: value.copy()
+                                    for name, value in self.model.state_dict().items()
+                                }
+                        else:
+                            bad_epochs += 1
+                        self._log(
+                            f"epoch {epoch}: train {history.train_loss[-1]:.4f} val {val:.4f}"
+                        )
+                        if cfg.early_stop_patience and bad_epochs >= cfg.early_stop_patience:
+                            stop = True
+                    else:
+                        self._log(f"epoch {epoch}: train {history.train_loss[-1]:.4f}")
 
-            # Fault-injection point: a crash here loses only this epoch —
-            # the previous epoch's state file is untouched (atomic write).
-            maybe_fail("epoch")
-            if checkpoint_path is not None:
-                save_training_state(
-                    checkpoint_path,
-                    model=self.model,
-                    optimizer=optimizer,
-                    schedule=schedule,
-                    loader=loader,
-                    history=history,
-                    epoch=epoch + 1,
-                    bad_epochs=bad_epochs,
-                    best_state=best_state,
-                    dropout_rng=dropout_rng,
-                )
-            if journal is not None:
-                journal.record(
-                    "epoch",
-                    epoch,
-                    {
-                        "train_loss": history.train_loss[-1],
-                        "val_loss": history.val_loss[-1] if history.val_loss else None,
-                        "checkpoint_digest": (
-                            file_digest(checkpoint_path) if checkpoint_path is not None else None
-                        ),
-                    },
-                )
-            if stop:
-                history.stopped_early = True
-                self._log(f"early stop at epoch {epoch}")
-                break
+                    # Fault-injection point: a crash here loses only this epoch —
+                    # the previous epoch's state file is untouched (atomic write).
+                    maybe_fail("epoch")
+                    if checkpoint_path is not None:
+                        save_training_state(
+                            checkpoint_path,
+                            model=self.model,
+                            optimizer=optimizer,
+                            schedule=schedule,
+                            loader=loader,
+                            history=history,
+                            epoch=epoch + 1,
+                            bad_epochs=bad_epochs,
+                            best_state=best_state,
+                            dropout_rng=dropout_rng,
+                        )
+                    if journal is not None:
+                        journal.record(
+                            "epoch",
+                            epoch,
+                            {
+                                "train_loss": history.train_loss[-1],
+                                "val_loss": history.val_loss[-1] if history.val_loss else None,
+                                "checkpoint_digest": (
+                                    file_digest(checkpoint_path) if checkpoint_path is not None else None
+                                ),
+                            },
+                        )
+                if stop:
+                    history.stopped_early = True
+                    self._log(f"early stop at epoch {epoch}")
+                    break
+            fit_span.set(
+                epochs_run=len(history.train_loss) - start_epoch,
+                stopped_early=history.stopped_early,
+            )
 
         if history.stopped_early and best_state is not None:
             self.model.load_state_dict(best_state)

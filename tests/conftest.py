@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import telemetry
 from repro.datasets import build_corpus, clean_leak, generate_leak, split_dataset
 from repro.models import PagPassGPT, PassGPT
 from repro.nn import GPT2Config
@@ -24,6 +25,13 @@ def _clean_faults(monkeypatch):
     faults.reset()
     yield
     faults.reset()
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_telemetry_session():
+    """A test that starts a telemetry session must not leak it onward."""
+    yield
+    telemetry.end_session(emit_snapshot=False)
 
 
 @pytest.fixture(scope="session")

@@ -139,6 +139,70 @@ class TestRepeatRows:
             assert np.allclose(last[row], expected[0], atol=1e-4), f"row {row}"
 
 
+class TestPromptCacheAccounting:
+    """Hit/miss/eviction stats (ISSUE 5): the cache's own counters must
+    reproduce the planned dedup savings of a golden-spec campaign."""
+
+    def test_golden_campaign_hits_match_planned_budget(self):
+        from repro.generation import (
+            DCGenConfig,
+            DCGenerator,
+            build_batches,
+            planned_execute_costs,
+        )
+        from tests.goldens import SPEC, build_model
+
+        model = build_model()
+        dc = SPEC["dcgen"]
+        gen = DCGenerator(model, DCGenConfig(threshold=dc["threshold"], gen_batch=128))
+        leaves = gen.plan(dc["total"])
+        cache = model.prompt_cache
+
+        # The plan phase primes each divided pattern's prompt exactly once.
+        plan_stats = cache.stats()
+        assert plan_stats["misses"] == gen.stats.patterns_used
+        assert plan_stats["size"] == plan_stats["misses"]
+
+        batches = build_batches(leaves, 128)
+        planned = planned_execute_costs(batches)
+        gen._execute(batches, dc["seed"])
+
+        stats = cache.stats()
+        # Execute-phase hits are exactly the planned dedup savings; the
+        # execute phase never re-primes a prompt the plan already warmed.
+        assert stats["hits"] - plan_stats["hits"] == planned["prompt_cache_hits"]
+        assert stats["misses"] == plan_stats["misses"]
+        assert stats["evictions"] == 0
+
+    def test_registry_counters_track_cache_stats(self):
+        from repro.nn.inference import PromptCache
+        from repro.telemetry import get_registry
+
+        cfg = GPT2Config(vocab_size=VOCAB, block_size=BLOCK, dim=32, n_layers=2, n_heads=4, dropout=0.0)
+        model = GPT2Model(cfg, seed=5)
+        model.eval()
+        cache = PromptCache(GPT2Inference(model), maxsize=2)
+
+        registry = get_registry()
+        before = {
+            key: registry.values().get(f"prompt_cache.{key}", 0)
+            for key in ("hits", "misses", "evictions")
+        }
+
+        prompts = [np.array([1]), np.array([2]), np.array([3])]
+        cache.lookup(prompts[0])
+        cache.lookup(prompts[0])  # hit
+        cache.lookup(prompts[1])
+        cache.lookup(prompts[2])  # evicts prompt 0 (LRU, maxsize=2)
+        cache.lookup(prompts[0])  # miss again: it was evicted
+
+        assert cache.stats() == {"hits": 1, "misses": 4, "evictions": 2, "size": 2}
+        after = registry.values()
+        for key in ("hits", "misses", "evictions"):
+            delta = after[f"prompt_cache.{key}"] - before[key]
+            assert delta == cache.stats()[key], key
+
+
 class TestBookkeeping:
     def test_select_and_repeat_preserve_length(self, inf, ids):
         _, cache = inf.start(ids[:, :9])

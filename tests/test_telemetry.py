@@ -1,0 +1,393 @@
+"""Unit tests for the telemetry subsystem (ISSUE 5).
+
+Covers the four layers in isolation — metrics registry, JSONL event
+logging, span tracing, heartbeat rendering — plus the aggregation and
+invariant-check logic over hand-built event streams.  Campaign-level
+integration (real D&C-GEN runs, workers, crash/resume) lives in
+``tests/test_telemetry_campaign.py``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.runtime import AppendStream
+from repro.telemetry.metrics import MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+
+class TestMetrics:
+    def test_counter_and_gauge_accumulate(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(4)
+        reg.gauge("g").set(2.5)
+        assert reg.values() == {"a": 5, "g": 2.5}
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_histogram_log_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("rows")
+        for v in (1, 2, 3, 1000, 10**9):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 5
+        assert snap["total"] == 1 + 2 + 3 + 1000 + 10**9
+        # 1 and 2 share the <=2 buckets (1 lands in <=1), 3 in <=4,
+        # 1000 in <=1024, 1e9 in the unbounded overflow bucket.
+        assert snap["buckets"]["1"] == 1
+        assert snap["buckets"]["2"] == 1
+        assert snap["buckets"]["4"] == 1
+        assert snap["buckets"]["1024"] == 1
+        assert snap["buckets"]["inf"] == 1
+
+    def test_histogram_snapshot_has_no_wall_clock(self):
+        """Two runs observing the same values snapshot identically."""
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg in (a, b):
+            reg.counter("n").inc(3)
+            reg.histogram("h").observe(7)
+        assert a.snapshot() == b.snapshot()
+
+    def test_register_group_polled_at_snapshot(self):
+        reg = MetricsRegistry()
+        state = {"calls": 0}
+        reg.register_group("inf", lambda: dict(state))
+        state["calls"] = 9
+        assert reg.values()["inf.calls"] == 9
+        assert reg.snapshot()["groups"]["inf"] == {"calls": 9}
+
+    def test_register_group_replaces(self):
+        reg = MetricsRegistry()
+        reg.register_group("inf", lambda: {"calls": 1})
+        reg.register_group("inf", lambda: {"calls": 2})
+        assert reg.values()["inf.calls"] == 2
+
+    def test_values_delta_only_nonzero(self):
+        before = {"a": 2, "b": 5}
+        after = {"a": 2, "b": 9, "c": 1}
+        assert telemetry.values_delta(before, after) == {"b": 4, "c": 1}
+
+
+# ----------------------------------------------------------------------
+# AppendStream + JSONL logger
+# ----------------------------------------------------------------------
+
+class TestLogger:
+    def test_append_stream_survives_reopen(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        with AppendStream(path) as s:
+            s.write_line("one")
+        with AppendStream(path) as s:
+            s.write_line("two")
+        assert path.read_text().splitlines() == ["one", "two"]
+
+    def test_emit_writes_complete_records(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        logger = telemetry.TelemetryLogger(path, run_id="r1", worker=7, clock=lambda: 123.0)
+        logger.emit("hello", level="info", x=1)
+        logger.close()
+        [record] = telemetry.read_events(path)
+        assert record["event"] == "hello"
+        assert record["run_id"] == "r1"
+        assert record["worker"] == 7
+        assert record["ts"] == 123.0
+        assert record["fields"] == {"x": 1}
+        assert isinstance(record["pid"], int)
+
+    def test_logger_level_filters_capture(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        logger = telemetry.TelemetryLogger(path, level="warning")
+        logger.emit("quiet", level="debug")
+        logger.emit("loud", level="error")
+        logger.close()
+        assert [r["event"] for r in telemetry.read_events(path)] == ["loud"]
+
+    def test_numpy_scalars_are_json_safe(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        logger = telemetry.TelemetryLogger(path)
+        logger.emit("np", n=np.int64(3), f=np.float64(0.5))
+        logger.close()
+        [record] = telemetry.read_events(path)
+        assert record["fields"] == {"n": 3, "f": 0.5}
+
+    def test_read_events_skips_torn_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        logger = telemetry.TelemetryLogger(path)
+        logger.emit("good")
+        logger.close()
+        with open(path, "a") as fh:
+            fh.write('{"event": "torn", "fie')  # crash mid-append
+        assert [r["event"] for r in telemetry.read_events(path)] == ["good"]
+
+    def test_unknown_level_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            telemetry.TelemetryLogger(tmp_path / "t.jsonl", level="loud")
+
+    def test_log_level_from_env(self, monkeypatch):
+        monkeypatch.delenv(telemetry.LOG_ENV, raising=False)
+        assert telemetry.log_level_from_env() == "warning"
+        monkeypatch.setenv(telemetry.LOG_ENV, "debug")
+        assert telemetry.log_level_from_env() == "debug"
+        monkeypatch.setenv(telemetry.LOG_ENV, "nonsense")
+        assert telemetry.log_level_from_env() == "warning"
+
+    def test_configure_logging_bridge_reaches_stream(self, tmp_path):
+        stream = io.StringIO()
+        telemetry.configure_logging("info", stream=stream)
+        try:
+            logger = telemetry.TelemetryLogger(tmp_path / "t.jsonl")
+            logger.emit("bridged", level="info", k=1)
+            logger.emit("hidden", level="debug")
+            logger.close()
+            text = stream.getvalue()
+            assert "bridged" in text
+            assert "hidden" not in text
+        finally:
+            root = logging.getLogger("repro")
+            for handler in list(root.handlers):
+                root.removeHandler(handler)
+
+    def test_configure_logging_idempotent(self):
+        stream = io.StringIO()
+        telemetry.configure_logging("info", stream=stream)
+        telemetry.configure_logging("info", stream=stream)
+        root = logging.getLogger("repro")
+        try:
+            assert len(root.handlers) == 1
+        finally:
+            for handler in list(root.handlers):
+                root.removeHandler(handler)
+
+
+# ----------------------------------------------------------------------
+# Sessions and spans
+# ----------------------------------------------------------------------
+
+class TestTracing:
+    def test_no_session_is_a_noop(self):
+        telemetry.emit("dropped")  # must not raise
+        with telemetry.trace("nothing") as span:
+            span.set(irrelevant=1)  # null span swallows attrs
+
+    def test_span_records_attrs_duration_and_delta(self, tmp_path):
+        with telemetry.session(tmp_path, run_id="t"):
+            with telemetry.trace("work", batch=3) as span:
+                telemetry.get_registry().counter("widgets").inc(5)
+                span.set(done=True)
+        events = telemetry.read_events(tmp_path / "telemetry.jsonl")
+        [span_rec] = [e for e in events if e["event"] == "span"]
+        fields = span_rec["fields"]
+        assert fields["name"] == "work"
+        assert fields["attrs"] == {"batch": 3, "done": True}
+        assert fields["delta"]["widgets"] == 5
+        assert fields["duration_s"] >= 0
+
+    def test_spans_nest_via_parent_id(self, tmp_path):
+        with telemetry.session(tmp_path):
+            with telemetry.trace("outer"):
+                with telemetry.trace("inner"):
+                    pass
+        events = telemetry.read_events(tmp_path / "telemetry.jsonl")
+        spans = {e["fields"]["name"]: e["fields"] for e in events if e["event"] == "span"}
+        assert spans["inner"]["parent_id"] == spans["outer"]["span_id"]
+        assert spans["outer"]["parent_id"] is None
+
+    def test_worker_session_uses_worker_file(self, tmp_path):
+        sess = telemetry.start_session(tmp_path, worker=42)
+        telemetry.emit("from-worker")
+        telemetry.end_session()
+        assert sess.logger.path.name == "telemetry-worker-42.jsonl"
+        events = telemetry.read_events(tmp_path / "telemetry-worker-42.jsonl")
+        assert [e["event"] for e in events if e["event"] == "from-worker"]
+
+    def test_end_session_emits_metrics_snapshot(self, tmp_path):
+        telemetry.start_session(tmp_path)
+        telemetry.get_registry().counter("closing").inc(2)
+        telemetry.end_session()
+        events = telemetry.read_events(tmp_path / "telemetry.jsonl")
+        [snap] = [e for e in events if e["event"] == "metrics_snapshot"]
+        assert snap["fields"]["metrics"]["closing"] == 2
+
+    def test_session_metrics_are_deltas_from_start_mark(self, tmp_path):
+        telemetry.get_registry().counter("preexisting").inc(100)
+        with telemetry.session(tmp_path) as sess:
+            telemetry.get_registry().counter("preexisting").inc(1)
+            assert sess.metrics_delta().get("preexisting") == 1
+
+
+# ----------------------------------------------------------------------
+# Heartbeat
+# ----------------------------------------------------------------------
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestHeartbeat:
+    def test_format_eta(self):
+        assert telemetry.format_eta(41) == "41s"
+        assert telemetry.format_eta(200) == "3m20s"
+        assert telemetry.format_eta(2 * 3600 + 5 * 60) == "2h05m"
+
+    def test_render_line(self):
+        clock = FakeClock()
+        hb = telemetry.Heartbeat(50_000, clock=clock, enabled=True, stream=io.StringIO())
+        clock.t = 4.0
+        line = hb.render(14_200)
+        assert line.startswith("guesses 14200/50000 (28.4%)")
+        assert "/s ETA" in line
+
+    def test_update_throttles(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        hb = telemetry.Heartbeat(100, clock=clock, enabled=True, stream=stream, interval=0.5)
+        for i in range(50):
+            clock.t = i * 0.01  # 50 updates inside one interval
+            hb.update(i)
+        assert hb.rendered == 1
+
+    def test_final_update_always_renders(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        hb = telemetry.Heartbeat(10, clock=clock, enabled=True, stream=stream)
+        hb.update(1)
+        hb.update(10)  # done == total bypasses throttling
+        assert hb.rendered == 2
+        hb.close()
+        assert stream.getvalue().endswith("\n")
+
+    def test_disabled_writes_nothing(self):
+        stream = io.StringIO()
+        hb = telemetry.Heartbeat(10, enabled=False, stream=stream)
+        hb.update(5)
+        hb.close()
+        assert stream.getvalue() == ""
+
+    def test_non_tty_stream_defaults_off(self):
+        hb = telemetry.Heartbeat(10, stream=io.StringIO())
+        assert hb.enabled is False
+
+
+# ----------------------------------------------------------------------
+# Aggregation and invariant checks
+# ----------------------------------------------------------------------
+
+def _write_stream(path, records):
+    with AppendStream(path) as stream:
+        for record in records:
+            stream.write_line(json.dumps(record))
+
+
+def _rec(event, fields, worker=None, ts=1.0):
+    return {"ts": ts, "run_id": "r", "pid": 1, "worker": worker,
+            "event": event, "level": "info", "fields": fields}
+
+
+def _span(name, attrs=None, delta=None, duration=0.5, worker=None):
+    return _rec("span", {"name": name, "span_id": 0, "parent_id": None,
+                         "duration_s": duration, "attrs": attrs or {},
+                         "delta": delta or {}}, worker=worker)
+
+
+class TestAggregate:
+    def _campaign(self, tmp_path):
+        """Hand-built two-worker campaign matching its plan exactly."""
+        _write_stream(tmp_path / "telemetry.jsonl", [
+            _rec("campaign_plan", {"kind": "dcgen", "requested": 20, "rows": 20,
+                                   "n_tasks": 2, "model_calls": 6,
+                                   "prompt_cache_hits": 2}),
+            _span("campaign", duration=2.0),
+        ])
+        _write_stream(tmp_path / "telemetry-worker-1.jsonl", [
+            _span("dcgen.execute_batch", attrs={"guesses": 12, "model_calls": 4},
+                  delta={"prompt_cache.hits": 1}, worker=1),
+        ])
+        _write_stream(tmp_path / "telemetry-worker-2.jsonl", [
+            _span("dcgen.execute_batch", attrs={"guesses": 8, "model_calls": 2},
+                  delta={"prompt_cache.hits": 1}, worker=2),
+        ])
+        return telemetry.summarize_campaign(tmp_path)
+
+    def test_summary_merges_worker_streams(self, tmp_path):
+        summary = self._campaign(tmp_path)
+        assert summary["total_guesses"] == 20
+        assert summary["executed"]["model_calls"] == 6
+        assert summary["executed"]["prompt_cache_hits"] == 2
+        assert set(summary["workers"]) == {
+            "telemetry-worker-1.jsonl", "telemetry-worker-2.jsonl"
+        }
+        assert summary["workers"]["telemetry-worker-1.jsonl"]["guesses"] == 12
+        assert summary["guesses_per_s"] == 10.0
+        assert telemetry.check_summary(summary) == []
+
+    def test_check_flags_lost_guesses(self, tmp_path):
+        summary = self._campaign(tmp_path)
+        summary["executed"]["guesses"] -= 5
+        summary["total_guesses"] -= 5
+        failures = telemetry.check_summary(summary)
+        assert any("guess count" in f for f in failures)
+
+    def test_check_flags_dededuplicated_cache(self, tmp_path):
+        summary = self._campaign(tmp_path)
+        summary["executed"]["prompt_cache_hits"] = 0
+        failures = telemetry.check_summary(summary)
+        assert any("cache" in f for f in failures)
+
+    def test_unrecovered_failure_is_unaccounted(self, tmp_path):
+        _write_stream(tmp_path / "telemetry.jsonl", [
+            _rec("task_failed", {"context": "c", "task": 3, "error": "boom", "attempt": 0}),
+            _rec("task_failed", {"context": "c", "task": 4, "error": "boom", "attempt": 0}),
+            _rec("task_recovered", {"context": "c", "task": 3}),
+        ])
+        summary = telemetry.summarize_campaign(tmp_path)
+        assert summary["faults"]["task_failed"] == 2
+        assert summary["faults"]["task_recovered"] == 1
+        assert summary["faults"]["unaccounted"] == ["4"]
+        failures = telemetry.check_summary(summary)
+        assert any("unaccounted" in f for f in failures)
+
+    def test_resumed_campaign_may_exceed_plan(self, tmp_path):
+        """Crash-before-journal can re-execute one batch: total >= rows."""
+        _write_stream(tmp_path / "telemetry.jsonl", [
+            _rec("campaign_plan", {"kind": "dcgen", "rows": 10, "n_tasks": 2,
+                                   "model_calls": 4, "prompt_cache_hits": 2}),
+            _rec("campaign_resume", {"tasks": 1, "guesses": 6, "model_calls": 2}),
+            _span("dcgen.execute_batch", attrs={"guesses": 6, "model_calls": 2}),
+        ])
+        summary = telemetry.summarize_campaign(tmp_path)
+        assert summary["total_guesses"] == 12  # one batch ran twice
+        assert telemetry.check_summary(summary) == []
+
+    def test_stable_events_strip_nondeterminism(self):
+        records = [
+            _rec("span", {"name": "s", "duration_s": 1.23, "attrs": {"a": 1}}, ts=99.0),
+        ]
+        [stable] = telemetry.stable_events(records)
+        assert "ts" not in stable and "pid" not in stable and "worker" not in stable
+        assert "duration_s" not in stable["fields"]
+        assert stable["fields"]["attrs"] == {"a": 1}
+
+    def test_render_summary_mentions_key_numbers(self, tmp_path):
+        summary = self._campaign(tmp_path)
+        text = telemetry.render_summary(summary)
+        assert "Planned vs actual" in text
+        assert "worker skew" in text
+        assert "20" in text
