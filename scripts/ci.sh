@@ -19,6 +19,10 @@
 #    summary must pass `repro telemetry summarize --check` (fleet guess
 #    count == planned total, zero unaccounted task failures, prompt-cache
 #    hits == planned dedup savings).
+# 5. Ordered smoke (ISSUE 6): a best-first campaign on the same tiny
+#    checkpoint is crashed at a journaled frontier snapshot, resumed,
+#    diffed byte-for-byte against the uninterrupted stream, and its
+#    telemetry must pass `summarize --check`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -78,3 +82,32 @@ test -s "$SMOKE_DIR/tele/campaign-summary.json"
 ls "$SMOKE_DIR"/tele/telemetry-worker-*.jsonl > /dev/null  # per-worker traces exist
 python -m repro.cli telemetry summarize "$SMOKE_DIR/tele" --check
 echo "telemetry smoke: merged campaign summary passes deterministic invariants"
+
+# ----------------------------------------------------------------------
+# Ordered smoke (ISSUE 6): best-first campaign, crash at a frontier
+# snapshot, resume, byte-identical stream + telemetry invariants.
+# ----------------------------------------------------------------------
+# Snapshot cadence matters here: a frontier snapshot journals the whole
+# heap (fsync'd), so every-round snapshots would dominate the wall-clock.
+ORD_ARGS=(generate --checkpoint "$SMOKE_DIR/model.npz" -n 120
+          --strategy ordered --beam-width 64 --max-frontier 5000
+          --snapshot-every 20)
+
+python -m repro.cli "${ORD_ARGS[@]}" --out "$SMOKE_DIR/ordered_clean.txt" \
+    --telemetry "$SMOKE_DIR/ordered-tele"
+python -m repro.cli telemetry summarize "$SMOKE_DIR/ordered-tele" --check
+
+# Interrupted run: crash before the 4th frontier snapshot...
+if REPRO_FAULT=crash:frontier:3 \
+   python -m repro.cli "${ORD_ARGS[@]}" --out "$SMOKE_DIR/ordered_resumed.txt" \
+       --journal "$SMOKE_DIR/ordered.jsonl"; then
+    echo "ordered smoke: injected crash did not fire" >&2
+    exit 1
+fi
+test -s "$SMOKE_DIR/ordered.jsonl"  # journaled snapshots survived the crash
+
+# ...then resume and demand the byte-identical ordered stream.
+python -m repro.cli "${ORD_ARGS[@]}" --out "$SMOKE_DIR/ordered_resumed.txt" \
+    --journal "$SMOKE_DIR/ordered.jsonl" --resume
+diff "$SMOKE_DIR/ordered_clean.txt" "$SMOKE_DIR/ordered_resumed.txt"
+echo "ordered smoke: crashed+resumed best-first stream is byte-identical"

@@ -199,15 +199,37 @@ def cmd_generate(args: argparse.Namespace) -> int:
     heartbeat = telemetry.Heartbeat(
         args.n, enabled=True if args.heartbeat else None
     )
+    strategy = "dcgen" if args.dcgen else args.strategy
     try:
         if args.pattern:
             if not hasattr(model, "generate_with_pattern"):
                 print("this model cannot do pattern guided generation", file=sys.stderr)
                 return 2
             guesses = model.generate_with_pattern(Pattern.parse(args.pattern), args.n, seed=args.seed)
-        elif args.dcgen:
+        elif strategy == "ordered":
+            from .generation import OrderedConfig, OrderedGenerator
+
+            config = OrderedConfig(
+                beam_width=args.beam_width,
+                max_frontier=args.max_frontier,
+                snapshot_every=args.snapshot_every,
+            )
+            if isinstance(model, PagPassGPT):
+                generator = OrderedGenerator.for_patterns(model, config=config)
+            else:
+                generator = OrderedGenerator.unconditional(model, config=config)
+            guesses = generator.generate(
+                args.n, journal=journal_path, resume=args.resume,
+                progress=heartbeat.update,
+            )
+            stats = generator.stats
+            print(f"ordered: {stats.rounds} rounds, {stats.pops} pops, "
+                  f"{stats.model_calls} model calls, "
+                  f"{stats.truncated_nodes} frontier nodes truncated "
+                  f"({stats.truncated_mass:.3g} mass)", file=sys.stderr)
+        elif strategy == "dcgen":
             if not isinstance(model, PagPassGPT):
-                print("--dcgen requires a PagPassGPT checkpoint", file=sys.stderr)
+                print("--strategy dcgen requires a PagPassGPT checkpoint", file=sys.stderr)
                 return 2
             generator = DCGenerator(
                 model, DCGenConfig(threshold=args.threshold, workers=args.workers)
@@ -349,8 +371,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", required=True)
     p.add_argument("-n", type=int, default=10_000, help="number of guesses")
     p.add_argument("--pattern", default=None, help='guided generation, e.g. "L6N2"')
-    p.add_argument("--dcgen", action="store_true", help="use D&C-GEN (PagPassGPT only)")
+    p.add_argument("--strategy", choices=("sampled", "dcgen", "ordered"),
+                   default="sampled",
+                   help="decode backend: stochastic sampling (default), "
+                        "D&C-GEN, or best-first ordered enumeration")
+    p.add_argument("--dcgen", action="store_true",
+                   help="alias for --strategy dcgen (PagPassGPT only)")
     p.add_argument("--threshold", type=int, default=256, help="D&C-GEN threshold T")
+    p.add_argument("--beam-width", type=int, default=64,
+                   help="ordered: frontier nodes expanded per model call")
+    p.add_argument("--max-frontier", type=int, default=50_000,
+                   help="ordered: frontier size cap (overflow is pruned "
+                        "least-probable-first, with accounting)")
+    p.add_argument("--snapshot-every", type=int, default=4,
+                   help="ordered: journal a frontier snapshot every K rounds")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for free/D&C-GEN generation "
                         "(output is identical for any count)")

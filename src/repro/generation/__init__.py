@@ -1,4 +1,4 @@
-"""Generation machinery: samplers, D&C-GEN, and the parallel backend."""
+"""Generation machinery: samplers, D&C-GEN, ordered search, parallel backend."""
 
 from .dcgen import (
     DCGenConfig,
@@ -12,6 +12,13 @@ from .dcgen import (
     plan_digest,
     planned_execute_costs,
     remaining_search_space,
+)
+from .ordered import (
+    OrderedConfig,
+    OrderedGenerator,
+    OrderedPrompt,
+    OrderedStats,
+    prompts_digest,
 )
 from .parallel import (
     execute_batches_parallel,
@@ -40,6 +47,11 @@ __all__ = [
     "plan_digest",
     "planned_execute_costs",
     "remaining_search_space",
+    "OrderedConfig",
+    "OrderedGenerator",
+    "OrderedPrompt",
+    "OrderedStats",
+    "prompts_digest",
     "execute_batches_parallel",
     "execute_free_chunks_parallel",
     "free_chunks",

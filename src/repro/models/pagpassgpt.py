@@ -228,8 +228,18 @@ class PagPassGPT(PatternGuidedGuesser):
         journal: Optional[Union[str, Path, RunJournal]] = None,
         resume: bool = False,
         progress: Optional[Callable[[int, int], None]] = None,
+        strategy: str = "sampled",
+        ordered_config=None,
     ) -> list[str]:
         """Trawling approach 1: feed only ``<BOS>``, model writes the rest.
+
+        ``strategy`` selects the decode backend: ``"sampled"`` (default)
+        draws stochastically as described below; ``"ordered"`` runs the
+        best-first enumerator (:class:`~repro.generation.OrderedGenerator`
+        over the fitted S_p mixture) and returns the ``n`` most probable
+        passwords in non-increasing probability order — deterministic, so
+        ``seed``/``workers`` are ignored.  ``ordered_config`` optionally
+        passes an :class:`~repro.generation.OrderedConfig`.
 
         Decoding is *grammar-constrained* to the training rule format
         ``pattern <SEP> password <EOS>``: during the pattern phase only
@@ -255,8 +265,17 @@ class PagPassGPT(PatternGuidedGuesser):
         ``campaign`` span, mirroring D&C-GEN campaigns.
         """
         self._require_fitted(self._fitted)
+        if strategy not in ("sampled", "ordered"):
+            raise ValueError(f"unknown strategy {strategy!r}; use 'sampled' or 'ordered'")
         if n <= 0:
             return []
+        if strategy == "ordered":
+            from ..generation.ordered import OrderedConfig, OrderedGenerator
+
+            gen = OrderedGenerator.for_patterns(
+                self, config=ordered_config or OrderedConfig()
+            )
+            return gen.generate(n, journal=journal, resume=resume, progress=progress)
         from ..generation.parallel import execute_free_chunks_parallel, free_chunks
 
         with telemetry.trace("campaign", kind="free", requested=int(n)):

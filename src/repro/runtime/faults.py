@@ -14,6 +14,7 @@ currently wired are:
 ``worker``              start of every pool-worker task (``index`` = task index)
 ``leaf_batch``          parent-side completion of a D&C-GEN leaf batch
 ``free_chunk``          parent-side completion of a free-generation chunk
+``frontier``            ordered-generation frontier snapshot (before the write)
 ``epoch``               completion of a training epoch (before its checkpoint)
 ``checkpoint``          ``save_checkpoint`` after writing (corrupt only)
 ======================  ======================================================

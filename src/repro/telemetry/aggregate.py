@@ -25,7 +25,7 @@ from typing import Iterable, Optional, Union
 from .logger import read_events
 
 #: Span names that represent one completed unit of generation work.
-EXECUTE_SPANS = ("dcgen.execute_batch", "free.chunk")
+EXECUTE_SPANS = ("dcgen.execute_batch", "free.chunk", "ordered.round")
 
 #: Record keys that vary run-to-run even for identical campaigns.
 _UNSTABLE_KEYS = ("ts", "pid", "worker")
@@ -212,7 +212,12 @@ def check_summary(summary: dict) -> list[str]:
                 f"fleet guess count {total} != planned rows {planned.get('rows')}"
             )
         if clean:
-            if summary["executed"]["model_calls"] != int(planned.get("model_calls", -1)):
+            # Only plans that can price model calls up front (D&C-GEN)
+            # record the key; ordered/free campaigns cannot know it at
+            # plan time, so absence skips the check rather than failing.
+            if "model_calls" in planned and (
+                summary["executed"]["model_calls"] != int(planned["model_calls"])
+            ):
                 failures.append(
                     f"fleet model calls {summary['executed']['model_calls']} != "
                     f"planned {planned.get('model_calls')}"

@@ -54,10 +54,16 @@ class Heartbeat:
         self.rendered = 0  # lines written (tests assert throttling)
 
     def render(self, done: int) -> str:
-        """The current status line (without the leading ``\\r``)."""
+        """The current status line (without the leading ``\\r``).
+
+        Every division is guarded: an update in the same clock tick as
+        construction (zero elapsed), a zero-total campaign, and a
+        zero-rate start all render finite values instead of raising or
+        reporting an absurd rate through a near-zero denominator.
+        """
         now = self._clock()
-        elapsed = max(now - self._started, 1e-9)
-        rate = done / elapsed
+        elapsed = now - self._started
+        rate = done / elapsed if elapsed > 0 else 0.0
         pct = 100.0 * done / self.total if self.total else 100.0
         if rate > 0 and self.total:
             eta = format_eta((self.total - done) / rate)

@@ -36,6 +36,7 @@ SPEC = {
     "pattern_probs": {"L4N2": 0.4, "N6": 0.3, "L3S1N2": 0.2, "L8": 0.1},
     "dcgen": {"total": 1500, "seed": 11, "threshold": 48},
     "free": {"n": 700, "seed": 13},
+    "ordered": {"n": 120, "beam_width": 32, "max_frontier": 5000},
 }
 
 
@@ -61,8 +62,35 @@ def build_model():
     return model
 
 
+def ordered_config(snapshot_every: int = 4):
+    """The reference ordered-enumeration config.
+
+    ``snapshot_every`` is deliberately NOT part of :data:`SPEC`: journal
+    cadence must never change the emitted bytes, and the golden resume
+    tests exploit that by crashing runs at several intervals.
+    """
+    from repro.generation import OrderedConfig
+
+    spec = SPEC["ordered"]
+    return OrderedConfig(
+        beam_width=spec["beam_width"],
+        max_frontier=spec["max_frontier"],
+        snapshot_every=snapshot_every,
+    )
+
+
+def generate_ordered_stream(snapshot_every: int = 4, journal=None, resume=False):
+    """Reference ordered stream via the public generation API."""
+    from repro.generation import OrderedGenerator
+
+    gen = OrderedGenerator.for_patterns(
+        build_model(), config=ordered_config(snapshot_every)
+    )
+    return gen.generate(SPEC["ordered"]["n"], journal=journal, resume=resume)
+
+
 def generate_streams(workers: int = 1, gen_batch: int | None = None) -> dict:
-    """Reference D&C-GEN + free streams via the public generation API."""
+    """Reference D&C-GEN + free + ordered streams via the public API."""
     from repro.generation import DCGenConfig, DCGenerator, plan_digest
     from repro.generation.sampler import GEN_BATCH
 
@@ -77,6 +105,7 @@ def generate_streams(workers: int = 1, gen_batch: int | None = None) -> dict:
     dcgen_stream = gen.generate(dc["total"], seed=dc["seed"])
     digest = plan_digest(gen.leaf_tasks)
     free_stream = model.generate(SPEC["free"]["n"], seed=SPEC["free"]["seed"], workers=workers)
+    ordered_stream = generate_ordered_stream()
     return {
         "spec": SPEC,
         "plan_digest": digest,
@@ -84,6 +113,8 @@ def generate_streams(workers: int = 1, gen_batch: int | None = None) -> dict:
         "dcgen_sha256": hashlib.sha256("\n".join(dcgen_stream).encode()).hexdigest(),
         "free": free_stream,
         "free_sha256": hashlib.sha256("\n".join(free_stream).encode()).hexdigest(),
+        "ordered": ordered_stream,
+        "ordered_sha256": hashlib.sha256("\n".join(ordered_stream).encode()).hexdigest(),
     }
 
 
@@ -92,8 +123,9 @@ def main() -> None:
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(streams, indent=1) + "\n")
     print(f"wrote {GOLDEN_PATH}")
-    print(f"  dcgen: {len(streams['dcgen'])} guesses, sha {streams['dcgen_sha256'][:16]}")
-    print(f"  free:  {len(streams['free'])} guesses, sha {streams['free_sha256'][:16]}")
+    print(f"  dcgen:   {len(streams['dcgen'])} guesses, sha {streams['dcgen_sha256'][:16]}")
+    print(f"  free:    {len(streams['free'])} guesses, sha {streams['free_sha256'][:16]}")
+    print(f"  ordered: {len(streams['ordered'])} guesses, sha {streams['ordered_sha256'][:16]}")
     print(f"  plan digest: {streams['plan_digest']}")
 
 

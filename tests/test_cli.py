@@ -106,6 +106,35 @@ class TestModelCommands:
         assert "hit rate" in out
         assert "pattern distance" in out
 
+    def test_generate_ordered(self, pipeline, checkpoint):
+        """--strategy ordered: deterministic, duplicate-free stream."""
+        first = pipeline / "ordered1.txt"
+        second = pipeline / "ordered2.txt"
+        common = ["generate", "--checkpoint", str(checkpoint),
+                  "-n", "40", "--strategy", "ordered",
+                  "--beam-width", "16", "--max-frontier", "2000"]
+        assert main(common + ["--out", str(first)]) == 0
+        assert main(common + ["--out", str(second)]) == 0
+        guesses = first.read_text().splitlines()
+        assert len(guesses) == 40
+        assert len(set(guesses)) == 40
+        assert second.read_text() == first.read_text()  # no rng anywhere
+
+    def test_generate_ordered_telemetry_check_passes(
+        self, pipeline, checkpoint, tmp_path, capsys
+    ):
+        """Ordered campaigns satisfy summarize --check: the per-round
+        spans account for every emitted guess against the plan."""
+        tele = tmp_path / "tele"
+        assert main(["generate", "--checkpoint", str(checkpoint),
+                     "-n", "30", "--strategy", "ordered",
+                     "--beam-width", "16", "--max-frontier", "2000",
+                     "--telemetry", str(tele),
+                     "--out", str(tmp_path / "ordered.txt")]) == 0
+        assert main(["telemetry", "summarize", str(tele), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "ordered.round" in out
+
     def test_dcgen_rejects_passgpt(self, pipeline):
         ckpt = pipeline / "passgpt.npz"
         assert main([
@@ -207,3 +236,28 @@ class TestFaultTolerance:
         assert main(["generate", "--checkpoint", str(bad),
                      "-n", "10", "--out", str(tmp_path / "x.txt")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestTelemetrySummarize:
+    """``telemetry summarize`` on directories with nothing to summarize."""
+
+    def test_empty_directory_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "tele"
+        empty.mkdir()
+        assert main(["telemetry", "summarize", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "no telemetry streams" in err
+        assert str(empty) in err
+
+    def test_missing_directory_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "never-written"
+        assert main(["telemetry", "summarize", str(missing)]) == 2
+        assert "no telemetry streams" in capsys.readouterr().err
+
+    def test_unrelated_files_exit_2(self, tmp_path, capsys):
+        """Only telemetry*.jsonl streams count, not arbitrary files."""
+        directory = tmp_path / "tele"
+        directory.mkdir()
+        (directory / "notes.txt").write_text("not a stream\n")
+        assert main(["telemetry", "summarize", str(directory)]) == 2
+        assert "no telemetry streams" in capsys.readouterr().err

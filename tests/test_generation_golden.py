@@ -14,8 +14,10 @@ import numpy as np
 import pytest
 
 from repro.generation import DCGenConfig, DCGenerator, plan_digest
+from repro.runtime import faults
+from repro.runtime.faults import InjectedFault
 
-from tests.goldens import GOLDEN_PATH, SPEC, build_model
+from tests.goldens import GOLDEN_PATH, SPEC, build_model, generate_ordered_stream
 
 
 @pytest.fixture(scope="module")
@@ -63,8 +65,40 @@ def test_journaled_resume_validates_plan_digest(golden, tmp_path):
     assert resumed == first == golden["dcgen"]
 
 
+@pytest.mark.parametrize("snapshot_every", [1, 4])
+def test_ordered_stream_byte_identical(golden, snapshot_every):
+    """The best-first stream is deterministic for any journal cadence."""
+    stream = generate_ordered_stream(snapshot_every=snapshot_every)
+    assert stream == golden["ordered"]
+    digest = hashlib.sha256("\n".join(stream).encode()).hexdigest()
+    assert digest == golden["ordered_sha256"]
+
+
+@pytest.mark.parametrize("snapshot_every", [2, 5])
+def test_ordered_crash_resume_byte_identical(golden, snapshot_every, tmp_path, monkeypatch):
+    """A crashed-and-resumed ordered campaign reproduces the golden bytes.
+
+    Two snapshot intervals exercise different crash points in the
+    enumeration; both must splice back into the identical stream.
+    """
+    journal = tmp_path / "run.jsonl"
+    monkeypatch.setenv(faults.FAULT_ENV, "crash:frontier:2")
+    faults.reset()
+    with pytest.raises(InjectedFault):
+        generate_ordered_stream(snapshot_every=snapshot_every, journal=journal)
+    monkeypatch.delenv(faults.FAULT_ENV)
+    faults.reset()
+    assert journal.exists()
+    snapshots = len(journal.read_text().splitlines()) - 1  # minus header
+    assert snapshots == 2  # the fault fired after exactly two clean writes
+    resumed = generate_ordered_stream(
+        snapshot_every=snapshot_every, journal=journal, resume=True
+    )
+    assert resumed == golden["ordered"]
+
+
 def test_fixture_self_consistent(golden):
     assert golden["spec"] == SPEC  # fixture was built from the current spec
-    for key in ("dcgen", "free"):
+    for key in ("dcgen", "free", "ordered"):
         digest = hashlib.sha256("\n".join(golden[key]).encode()).hexdigest()
         assert digest == golden[f"{key}_sha256"]

@@ -203,6 +203,112 @@ class TestPromptCacheAccounting:
             assert delta == cache.stats()[key], key
 
 
+class TestPromptCacheInterleaved:
+    """LRU behaviour under the ordered-frontier access pattern: the
+    best-first enumerator interleaves lookups across every pattern's
+    prompt each round, so eviction correctness (not just counts) matters
+    — a re-primed entry must serve the same state as the evicted one."""
+
+    def _cache(self, maxsize):
+        from repro.nn.inference import PromptCache
+
+        cfg = GPT2Config(vocab_size=VOCAB, block_size=BLOCK, dim=32, n_layers=2, n_heads=4, dropout=0.0)
+        model = GPT2Model(cfg, seed=5)
+        model.eval()
+        inference = GPT2Inference(model)
+        return PromptCache(inference, maxsize=maxsize), inference
+
+    def test_interleaved_thrash_below_capacity(self):
+        """Round-robin over maxsize+1 prompts: every lookup re-primes."""
+        cache, _ = self._cache(maxsize=2)
+        prompts = [np.array([p, p]) for p in (1, 2, 3)]
+        rounds = 4
+        for _ in range(rounds):
+            for prompt in prompts:
+                cache.lookup(prompt)
+        stats = cache.stats()
+        assert stats["hits"] == 0  # LRU always evicts the next one needed
+        assert stats["misses"] == rounds * len(prompts)
+        assert stats["evictions"] == rounds * len(prompts) - 2
+        assert stats["size"] == 2
+
+    def test_interleaved_all_hits_at_capacity(self):
+        cache, _ = self._cache(maxsize=3)
+        prompts = [np.array([p, p]) for p in (1, 2, 3)]
+        for _ in range(4):
+            for prompt in prompts:
+                cache.lookup(prompt)
+        stats = cache.stats()
+        assert stats["misses"] == 3  # one priming each, then steady-state
+        assert stats["hits"] == 3 * 3
+        assert stats["evictions"] == 0
+
+    def test_reprimed_entry_is_equivalent(self):
+        """An evict-then-reprime cycle returns the same logits and a KV
+        state that continues identically to an uncached start."""
+        cache, inference = self._cache(maxsize=1)
+        prompt_a, prompt_b = np.array([4, 5, 6]), np.array([7, 8])
+        first_logits, _ = cache.lookup(prompt_a)
+        cache.lookup(prompt_b)  # evicts prompt_a
+        again_logits, again_kv = cache.lookup(prompt_a)  # re-primed
+        assert np.array_equal(first_logits, again_logits)
+        fresh_logits, fresh_kv = inference.start(prompt_a[None, :])
+        assert np.array_equal(again_logits, fresh_logits)
+        next_id = np.array([9])
+        stepped = inference.step(next_id, again_kv.gather(np.array([0])))
+        expected = inference.step(next_id, fresh_kv)
+        assert np.allclose(stepped, expected, atol=1e-5)
+
+    def test_touched_entry_survives_interleaving(self):
+        """A hit refreshes recency: the other entry is the one evicted."""
+        cache, _ = self._cache(maxsize=2)
+        hot, warm, new = np.array([1]), np.array([2]), np.array([3])
+        cache.lookup(hot)
+        cache.lookup(warm)
+        cache.lookup(hot)  # refresh: warm is now LRU
+        cache.lookup(new)  # evicts warm
+        assert cache.stats()["evictions"] == 1
+        hits_before = cache.stats()["hits"]
+        cache.lookup(hot)
+        assert cache.stats()["hits"] == hits_before + 1  # still cached
+
+
+class TestGatherIndices:
+    """``KVCache.gather`` with the degenerate index lists the ordered
+    frontier produces: empty groups and heavily duplicated rows."""
+
+    def test_empty_indices_give_zero_batch(self, inf, ids):
+        _, cache = inf.start(ids[:, :5])
+        empty = cache.gather(np.array([], dtype=np.intp))
+        assert empty.batch == 0
+        assert empty.length == cache.length
+
+    def test_empty_int_list(self, inf, ids):
+        _, cache = inf.start(ids[:, :3])
+        assert cache.gather(np.array([], dtype=np.int64)).batch == 0
+
+    def test_duplicate_indices_replicate_rows(self, inf, ids):
+        """Gathering [2,2,0,2] must behave like starting from the rows
+        tiled that way — the fan-out the enumerator uses per batch."""
+        _, cache = inf.start(ids[:, :6])
+        picked = np.array([2, 2, 0, 2])
+        fanned = cache.gather(picked)
+        assert fanned.batch == 4
+        stepped = inf.step(ids[picked, 6], fanned)
+        expected = inf.logits(ids[picked, :7])[:, -1]
+        assert np.allclose(stepped, expected, atol=1e-4)
+
+    def test_duplicated_rows_are_independent_copies(self, inf, ids):
+        """Mutating one duplicated row must not leak into its siblings."""
+        _, cache = inf.start(ids[:, :4])
+        fanned = cache.gather(np.array([1, 1]))
+        fanned.keys[0][0, ...] = 1e9  # corrupt row 0 only
+        survivor = fanned.gather(np.array([1]))
+        stepped = inf.step(ids[[1], 4], survivor)
+        expected = inf.logits(ids[[1], :5])[:, -1]
+        assert np.allclose(stepped, expected, atol=1e-4)
+
+
 class TestBookkeeping:
     def test_select_and_repeat_preserve_length(self, inf, ids):
         _, cache = inf.start(ids[:, :9])

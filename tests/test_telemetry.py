@@ -285,6 +285,27 @@ class TestHeartbeat:
         hb = telemetry.Heartbeat(10, stream=io.StringIO())
         assert hb.enabled is False
 
+    def test_instant_first_update_has_no_absurd_rate(self):
+        """Zero elapsed time renders 0/s, not done/epsilon, and never raises."""
+        clock = FakeClock()
+        hb = telemetry.Heartbeat(100, clock=clock, enabled=True, stream=io.StringIO())
+        line = hb.render(40)  # same clock tick as construction
+        assert "(40.0%) 0/s ETA ?" in line
+
+    def test_zero_total_renders(self):
+        clock = FakeClock()
+        hb = telemetry.Heartbeat(0, clock=clock, enabled=True, stream=io.StringIO())
+        clock.t = 1.0
+        assert hb.render(0) == "guesses 0/0 (100.0%) 0/s ETA ?"
+
+    def test_zero_rate_has_unknown_eta(self):
+        """No progress yet: the ETA is '?' rather than a division by zero."""
+        clock = FakeClock()
+        hb = telemetry.Heartbeat(100, clock=clock, enabled=True, stream=io.StringIO())
+        clock.t = 5.0
+        line = hb.render(0)
+        assert line == "guesses 0/100 (0.0%) 0/s ETA ?"
+
 
 # ----------------------------------------------------------------------
 # Aggregation and invariant checks
