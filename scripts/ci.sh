@@ -65,6 +65,12 @@ if REPRO_FAULT=crash:leaf_batch:3 \
 fi
 test -s "$SMOKE_DIR/run.jsonl"  # journaled progress survived the crash
 
+# Integrity gate (ISSUE 7): the crash left artifacts behind — the
+# verifier must pass them (repairing a torn journal tail if the kill
+# landed mid-write) before the resume leg is allowed to trust them.
+python -m repro.cli verify "$SMOKE_DIR/run.jsonl" "$SMOKE_DIR/model.npz" --repair
+echo "verify smoke: crash artifacts pass integrity verification"
+
 # ...then resume and demand the byte-identical stream.
 python -m repro.cli "${GEN_ARGS[@]}" --out "$SMOKE_DIR/resumed.txt" \
     --journal "$SMOKE_DIR/run.jsonl" --resume
@@ -111,3 +117,15 @@ python -m repro.cli "${ORD_ARGS[@]}" --out "$SMOKE_DIR/ordered_resumed.txt" \
     --journal "$SMOKE_DIR/ordered.jsonl" --resume
 diff "$SMOKE_DIR/ordered_clean.txt" "$SMOKE_DIR/ordered_resumed.txt"
 echo "ordered smoke: crashed+resumed best-first stream is byte-identical"
+
+# ----------------------------------------------------------------------
+# Chaos smoke (ISSUE 7): fixed-seed randomized fault schedule.  Each case
+# runs golden -> fault -> (repair if corrupted) -> resume and demands a
+# byte-identical stream plus `telemetry summarize --check`.  Fixed seed
+# keeps the schedule (and runtime, ~30 s) reproducible across CI runs.
+# ----------------------------------------------------------------------
+python -m repro.cli chaos --workdir "$SMOKE_DIR/chaos" \
+    --checkpoint "$SMOKE_DIR/model.npz" \
+    --seed 0 --per-strategy 1 --strategies dcgen,sampled --workers 1 -n 400
+test -s "$SMOKE_DIR/chaos/chaos-report.json"
+echo "chaos smoke: seeded fault schedule holds the byte-identical-resume invariant"

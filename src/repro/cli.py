@@ -10,6 +10,9 @@ Subcommands::
     repro generate  guesses from a checkpoint (guided / free / D&C-GEN)
     repro evaluate  hit rate, repeat rate, distances of a guess file
     repro telemetry summarize a campaign telemetry directory
+    repro verify    integrity-check checkpoints/journals/manifests
+    repro chaos     randomized fault-injection sweep (crash anywhere,
+                    resume exactly)
 
 Example end-to-end session::
 
@@ -26,6 +29,13 @@ Observability: ``--telemetry DIR`` on ``train``/``generate`` records a
 structured JSONL trace (events, spans, metrics; one stream per process)
 and a merged ``campaign-summary.json``; ``--heartbeat`` draws a live
 progress line; ``--log-level`` / ``REPRO_LOG`` control stderr verbosity.
+
+Lifecycle: ``--deadline`` / ``--max-guesses`` / ``--max-model-calls``
+stop a campaign gracefully at a budget boundary, and SIGTERM/SIGINT take
+the same graceful path (journal flushed, then a distinct exit code), so
+``--resume`` always continues byte-identically.  Exit codes: 0 success,
+1 runtime failure (e.g. disk full), 2 corrupt/unusable artifact,
+3 deadline or quota reached, 4 stopped by signal.
 """
 
 from __future__ import annotations
@@ -49,9 +59,23 @@ from .evaluation import (
 from .generation import DCGenConfig, DCGenerator, SamplerConfig
 from .models import PagPassGPT, PassGPT
 from .nn import CheckpointError, GPT2Config
-from .runtime import JournalError, atomic_write_text
+from .runtime import (
+    Budget,
+    CampaignInterrupted,
+    DiskFullError,
+    JournalError,
+    atomic_write_text,
+    signals,
+)
 from .tokenizer import Pattern
 from .training import TrainConfig
+
+# Process exit codes (documented in docs/API.md; asserted in tests).
+EXIT_OK = 0            # command completed
+EXIT_FAILURE = 1       # runtime failure (disk full, chaos invariant broken, ...)
+EXIT_CORRUPT = 2       # corrupt/unusable artifact or invalid request
+EXIT_INTERRUPTED = 3   # deadline / guess quota / model-call quota reached
+EXIT_SIGNAL = 4        # stopped gracefully by SIGTERM/SIGINT
 
 
 def _read_lines(path: str) -> list[str]:
@@ -60,6 +84,15 @@ def _read_lines(path: str) -> list[str]:
 
 def _write_lines(path: str, lines: Sequence[str]) -> None:
     atomic_write_text(path, "\n".join(lines) + "\n")
+
+
+def _write_artifact_manifest(out: str, run: dict) -> None:
+    """Pin a finished artifact's checksum next to it (``--manifest``)."""
+    from .runtime import integrity
+
+    manifest_path = f"{out}.manifest.json"
+    integrity.write_manifest(manifest_path, [out], run=run)
+    print(f"integrity manifest written to {manifest_path}", file=sys.stderr)
 
 
 def _start_telemetry(args: argparse.Namespace, run_id: str) -> bool:
@@ -179,13 +212,18 @@ def cmd_train(args: argparse.Namespace) -> int:
             log_fn=print,
             checkpoint_path=state_path,
             resume_from=resume_from,
+            budget=Budget(wall_seconds=args.deadline),
         )
     finally:
         _finish_telemetry(args, started)
     model.save(args.out)
     Path(state_path).unlink(missing_ok=True)  # campaign finished
+    if args.manifest:
+        _write_artifact_manifest(
+            args.out, run={"command": "train", "model": args.model, "seed": args.seed}
+        )
     print(f"checkpoint written to {args.out}")
-    return 0
+    return EXIT_OK
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -195,6 +233,13 @@ def cmd_generate(args: argparse.Namespace) -> int:
             temperature=args.temperature, top_k=args.top_k, top_p=args.top_p
         )
     journal_path = Path(args.journal or f"{args.out}.journal.jsonl")
+    # Always build a budget (all limits may be None): a limitless budget
+    # still turns SIGTERM/SIGINT into a graceful stop at the next poll.
+    budget = Budget(
+        wall_seconds=args.deadline,
+        max_guesses=args.max_guesses,
+        max_model_calls=args.max_model_calls,
+    )
     started = _start_telemetry(args, run_id="generate")
     heartbeat = telemetry.Heartbeat(
         args.n, enabled=True if args.heartbeat else None
@@ -220,7 +265,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
                 generator = OrderedGenerator.unconditional(model, config=config)
             guesses = generator.generate(
                 args.n, journal=journal_path, resume=args.resume,
-                progress=heartbeat.update,
+                progress=heartbeat.update, budget=budget,
             )
             stats = generator.stats
             print(f"ordered: {stats.rounds} rounds, {stats.pops} pops, "
@@ -236,7 +281,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
             )
             guesses = generator.generate(
                 args.n, seed=args.seed, journal=journal_path, resume=args.resume,
-                progress=heartbeat.update,
+                progress=heartbeat.update, budget=budget,
             )
             stats = generator.stats
             print(f"D&C-GEN: {stats.patterns_used} patterns, {stats.leaves} leaves, "
@@ -245,7 +290,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
             guesses = model.generate(
                 args.n, seed=args.seed, workers=args.workers,
                 journal=journal_path, resume=args.resume,
-                progress=heartbeat.update,
+                progress=heartbeat.update, budget=budget,
             )
         else:
             guesses = model.generate(args.n, seed=args.seed)
@@ -254,8 +299,14 @@ def cmd_generate(args: argparse.Namespace) -> int:
         _finish_telemetry(args, started)
     _write_lines(args.out, guesses)
     journal_path.unlink(missing_ok=True)  # campaign finished; journal spent
+    if args.manifest:
+        _write_artifact_manifest(
+            args.out,
+            run={"command": "generate", "strategy": strategy,
+                 "seed": args.seed, "n": args.n},
+        )
     print(f"wrote {len(guesses)} guesses to {args.out}")
-    return 0
+    return EXIT_OK
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -292,6 +343,74 @@ def cmd_telemetry_summarize(args: argparse.Namespace) -> int:
             return 1
         print("all campaign invariants hold", file=sys.stderr)
     return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Integrity-check artifacts; exit 2 if any error-level finding remains."""
+    from .runtime import integrity
+
+    findings = integrity.verify_paths(args.paths, repair=args.repair)
+    if args.json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f"{f.severity:7s} {f.kind:22s} {f.path}  {f.detail}")
+    errors = sum(1 for f in findings if f.severity == "error")
+    repaired = sum(1 for f in findings if f.kind == "repaired")
+    summary = f"{len(findings)} finding(s), {errors} error(s)"
+    if repaired:
+        summary += f", {repaired} repaired"
+    print(summary, file=sys.stderr)
+    return EXIT_CORRUPT if errors else EXIT_OK
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded random fault sweep; exit 1 if any resume invariant breaks."""
+    from .runtime import chaos
+
+    workdir = Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    checkpoint = args.checkpoint
+    if checkpoint is None:
+        # Self-contained mode: train a throwaway model on a synthetic
+        # leak (cached across invocations sharing the workdir).
+        checkpoint = workdir / "chaos-model.npz"
+        if not checkpoint.exists():
+            print("training a throwaway chaos model...", file=sys.stderr)
+            leak = workdir / "chaos-leak.txt"
+            cleaned = workdir / "chaos-cleaned.txt"
+            _write_lines(leak, generate_leak("rockyou", 3000, seed=0))
+            _write_lines(cleaned, clean_leak(_read_lines(str(leak)))[0])
+            code = main([
+                "train", "--input", str(cleaned), "--out", str(checkpoint),
+                "--dim", "32", "--layers", "1", "--heads", "2",
+                "--epochs", "1", "--batch-size", "128",
+            ])
+            if code != 0:
+                print("error: chaos model training failed", file=sys.stderr)
+                return EXIT_FAILURE
+    strategies = [s for s in args.strategies.split(",") if s]
+    workers_list = [int(w) for w in args.workers.split(",") if w]
+    report = chaos.run_chaos(
+        checkpoint,
+        workdir / "cases",
+        base_seed=args.seed,
+        strategies=strategies,
+        workers_list=workers_list,
+        per_strategy=args.per_strategy,
+        n=args.n,
+        log=lambda msg: print(msg, file=sys.stderr),
+    )
+    report_path = workdir / "chaos-report.json"
+    atomic_write_text(report_path, json.dumps(report.to_dict(), indent=2) + "\n")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(f"chaos: {len(report.cases)} case(s), "
+              f"{len(report.failures)} failure(s); report at {report_path}")
+        for r in report.failures:
+            print(f"  FAIL {r.case.describe()}: {r.failure}")
+    return EXIT_OK if report.ok else EXIT_FAILURE
 
 
 def _load_any(path: str) -> PagPassGPT | PassGPT:
@@ -364,6 +483,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="training-state path (default: <out>.train-state.npz)")
     p.add_argument("--resume", action="store_true",
                    help="resume from the training state if it exists")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="stop gracefully after this much wall clock "
+                        "(exit 3; --resume continues byte-identically)")
+    p.add_argument("--manifest", action="store_true",
+                   help="write a checksum manifest (<out>.manifest.json) "
+                        "next to the finished checkpoint")
     _add_observability_options(p)
     p.set_defaults(fn=cmd_train)
 
@@ -399,6 +524,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="resume an interrupted run from its journal "
                         "(output is byte-identical to an uninterrupted run)")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="stop gracefully after this much wall clock "
+                        "(exit 3; --resume continues byte-identically)")
+    p.add_argument("--max-guesses", type=int, default=None, metavar="G",
+                   help="stop gracefully once G guesses are journaled (exit 3)")
+    p.add_argument("--max-model-calls", type=int, default=None, metavar="C",
+                   help="stop gracefully after C model calls (exit 3; "
+                        "strategies that do not count calls ignore this)")
+    p.add_argument("--manifest", action="store_true",
+                   help="write a checksum manifest (<out>.manifest.json) "
+                        "next to the finished guess file")
     p.add_argument("--heartbeat", action="store_true",
                    help="draw a live progress line (done/total, rate, ETA) "
                         "even when stderr is not a TTY")
@@ -421,6 +557,44 @@ def build_parser() -> argparse.ArgumentParser:
                         "(exit 1 on violation)")
     s.set_defaults(fn=cmd_telemetry_summarize)
 
+    p = sub.add_parser(
+        "verify",
+        help="integrity-check campaign artifacts (exit 2 on any error finding)",
+    )
+    p.add_argument("paths", nargs="+",
+                   help="checkpoints (.npz), run journals (*journal*.jsonl), "
+                        "manifests (MANIFEST.json / *.manifest.json), or "
+                        "directories to walk for all three")
+    p.add_argument("--repair", action="store_true",
+                   help="truncate torn journal tails back to the last valid "
+                        "record (atomic rewrite; repairs become info findings)")
+    p.add_argument("--json", action="store_true",
+                   help="print machine-readable findings as JSON")
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser(
+        "chaos",
+        help="randomized fault-injection sweep: crash anywhere, resume exactly",
+    )
+    p.add_argument("--workdir", required=True,
+                   help="scratch directory for cases and the JSON report")
+    p.add_argument("--checkpoint", default=None,
+                   help="model checkpoint to campaign with (default: train a "
+                        "throwaway tiny model into the workdir)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="schedule seed; the same seed replays the same faults")
+    p.add_argument("--per-strategy", type=int, default=2,
+                   help="cases per (strategy, workers) shape")
+    p.add_argument("--strategies", default="sampled,dcgen,ordered",
+                   help="comma-separated strategies to sweep")
+    p.add_argument("--workers", default="1,2",
+                   help="comma-separated worker counts to sweep")
+    p.add_argument("-n", type=int, default=None,
+                   help="guesses per campaign (default: per-strategy sizing)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full chaos report as JSON on stdout")
+    p.set_defaults(fn=cmd_chaos)
+
     return parser
 
 
@@ -428,16 +602,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
     Unusable checkpoints/journals (missing, corrupt, or belonging to a
-    different run) exit with code 2 and a one-line diagnosis instead of a
-    traceback.
+    different run) exit with code 2 and a one-line diagnosis instead of
+    a traceback.  SIGTERM/SIGINT are converted into a graceful stop at
+    the next budget poll (progress stays durable and resumable; exit 4);
+    tripped deadlines/quotas exit 3; a full disk aborts safely with
+    exit 1.  The full table lives in docs/API.md.
     """
     args = build_parser().parse_args(argv)
     telemetry.configure_logging(getattr(args, "log_level", None))
     try:
-        return args.fn(args)
+        with signals.graceful_shutdown():
+            return args.fn(args)
+    except CampaignInterrupted as exc:
+        print(f"stopped: {exc}", file=sys.stderr)
+        print("progress is journaled; rerun with --resume to continue "
+              "byte-identically", file=sys.stderr)
+        return EXIT_SIGNAL if exc.reason == "signal" else EXIT_INTERRUPTED
+    except DiskFullError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
     except (CheckpointError, JournalError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_CORRUPT
 
 
 if __name__ == "__main__":

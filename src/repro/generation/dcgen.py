@@ -41,7 +41,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 import numpy as np
 
 from .. import telemetry
-from ..runtime import RetryPolicy, RunJournal, maybe_fail
+from ..runtime import Budget, RetryPolicy, RunJournal, maybe_fail
 from ..tokenizer.patterns import Pattern
 from .sampler import (
     GEN_BATCH,
@@ -398,6 +398,7 @@ class DCGenerator:
         journal: Optional[Union[str, Path, RunJournal]] = None,
         resume: bool = False,
         progress: Optional[Callable[[int, int], None]] = None,
+        budget: Optional[Budget] = None,
     ) -> list[str]:
         """Generate ~``total`` guesses; returns the raw (ordered) stream.
 
@@ -422,6 +423,13 @@ class DCGenerator:
         ``campaign_plan`` event carrying the full
         :func:`planned_execute_costs` budget, a ``campaign_resume``
         event for journal-reused work, and a ``campaign`` span.
+
+        ``budget`` (a :class:`~repro.runtime.Budget`) is polled after
+        every durable batch boundary — and while waiting on workers — so
+        a deadline, quota, or delivered SIGTERM raises
+        :class:`~repro.runtime.CampaignInterrupted` with the completed
+        work already journaled; a ``resume=True`` rerun then continues
+        byte-identically.
         """
         with telemetry.trace("campaign", kind="dcgen", requested=int(total)):
             leaves = self.plan(total, pattern_probs)
@@ -453,7 +461,7 @@ class DCGenerator:
                 journal = RunJournal.attach(journal, header, resume=resume)
                 owns_journal = True
             try:
-                results = self._execute(batches, seed, journal, progress)
+                results = self._execute(batches, seed, journal, progress, budget)
             finally:
                 if owns_journal:
                     journal.close()
@@ -641,12 +649,15 @@ class DCGenerator:
         seed: int,
         journal: Optional[RunJournal] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        budget: Optional[Budget] = None,
     ) -> list[tuple[list[str], int]]:
         """Run all batches serially or on a pool, in batch order.
 
         With a journal, batches already journaled are reused verbatim and
         every fresh completion is journaled the moment it lands — the
-        crash window never costs more than the batch in flight.
+        crash window never costs more than the batch in flight.  The
+        ``budget`` is polled right after each batch's journal write (a
+        durable boundary) and while waiting for worker results.
         """
         results: dict[int, tuple[list[str], int]] = {}
         if journal is not None:
@@ -659,18 +670,27 @@ class DCGenerator:
         pending = [b for b in batches if b.batch_id not in results]
         total_rows = sum(b.rows for b in batches)
         done_rows = sum(len(guesses) for guesses, _ in results.values())
+        done_calls = sum(calls for _, calls in results.values())
         if results:
             telemetry.emit(
                 "campaign_resume",
                 tasks=len(results),
                 guesses=done_rows,
-                model_calls=sum(calls for _, calls in results.values()),
+                model_calls=done_calls,
             )
         if progress is not None:
             progress(done_rows, total_rows)
 
+        def current_progress() -> dict:
+            return {
+                "guesses": done_rows,
+                "model_calls": done_calls,
+                "tasks": len(results),
+                "n_tasks": len(batches),
+            }
+
         def on_result(position: int, value) -> None:
-            nonlocal done_rows
+            nonlocal done_rows, done_calls
             batch = pending[position]
             guesses, calls = value
             maybe_fail("leaf_batch")
@@ -682,9 +702,14 @@ class DCGenerator:
                 )
             results[batch.batch_id] = (guesses, calls)
             done_rows += len(guesses)
+            done_calls += calls
             if progress is not None:
                 progress(done_rows, total_rows)
+            if budget is not None:
+                budget.poll(**current_progress())
 
+        if budget is not None:
+            budget.poll(**current_progress())
         if self.config.workers > 1 and len(pending) > 1:
             from .parallel import execute_batches_parallel
 
@@ -696,6 +721,7 @@ class DCGenerator:
                     self.config.workers,
                     policy=self.config.retry_policy(),
                     on_result=on_result,
+                    stop=None if budget is None else budget.stopper(current_progress),
                 )
             except Exception as exc:
                 warnings.warn(

@@ -75,7 +75,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 import numpy as np
 
 from .. import telemetry
-from ..runtime import RunJournal, maybe_fail
+from ..runtime import Budget, RunJournal, maybe_fail
 from ..tokenizer.patterns import Pattern
 from .sampler import constrained_distribution
 
@@ -266,6 +266,7 @@ class OrderedGenerator:
         journal: Optional[Union[str, Path, RunJournal]] = None,
         resume: bool = False,
         progress: Optional[Callable[[int, int], None]] = None,
+        budget: Optional[Budget] = None,
     ) -> list[str]:
         """The ``n`` most probable unemitted passwords, most probable first.
 
@@ -275,9 +276,14 @@ class OrderedGenerator:
         same crash-safety contract as D&C-GEN: frontier snapshots are
         journaled every ``snapshot_every`` rounds and a resumed run
         emits the byte-identical stream of an uninterrupted one.
-        ``progress(emitted, n)`` fires once per round.
+        ``progress(emitted, n)`` fires once per round.  ``budget`` (a
+        :class:`~repro.runtime.Budget`) is polled at every round
+        boundary; on a trip the un-snapshotted delta is flushed to the
+        journal first, so the graceful stop loses nothing.
         """
-        return [pw for pw, _ in self.generate_scored(n, journal, resume, progress)]
+        return [
+            pw for pw, _ in self.generate_scored(n, journal, resume, progress, budget)
+        ]
 
     def generate_scored(
         self,
@@ -285,6 +291,7 @@ class OrderedGenerator:
         journal: Optional[Union[str, Path, RunJournal]] = None,
         resume: bool = False,
         progress: Optional[Callable[[int, int], None]] = None,
+        budget: Optional[Budget] = None,
     ) -> list[tuple[str, float]]:
         """:meth:`generate` with each password's log-probability attached.
 
@@ -317,7 +324,7 @@ class OrderedGenerator:
                 journal = RunJournal.attach(journal, header, resume=resume)
                 owns_journal = True
             try:
-                return self._run(n, journal, progress)
+                return self._run(n, journal, progress, budget)
             finally:
                 if owns_journal:
                     journal.close()
@@ -330,6 +337,7 @@ class OrderedGenerator:
         n: int,
         journal: Optional[RunJournal],
         progress: Optional[Callable[[int, int], None]],
+        budget: Optional[Budget] = None,
     ) -> list[tuple[str, float]]:
         self.stats = OrderedStats()
         stats = self.stats
@@ -416,6 +424,21 @@ class OrderedGenerator:
             if journal is not None and stats.rounds % self.config.snapshot_every == 0:
                 snapshot_id = self._snapshot(journal, snapshot_id, heap, seq, delta)
                 delta = []
+            if budget is not None and budget.exceeded(
+                guesses=len(emitted), model_calls=stats.model_calls
+            ):
+                # Graceful stop at a round boundary: flush the pending
+                # delta as an extra snapshot first, so the interrupted
+                # round's guesses are durable before the raise — resume
+                # picks up exactly here.
+                if journal is not None and delta:
+                    snapshot_id = self._snapshot(journal, snapshot_id, heap, seq, delta)
+                    delta = []
+                budget.poll(
+                    guesses=len(emitted),
+                    model_calls=stats.model_calls,
+                    rounds=stats.rounds,
+                )
 
         if len(emitted) < n:
             stats.exhausted = True

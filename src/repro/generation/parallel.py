@@ -56,7 +56,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 import numpy as np
 
 from .. import telemetry
-from ..runtime import RetryPolicy, maybe_fail, supervised_map
+from ..runtime import RetryPolicy, maybe_fail, signals, supervised_map
 from .dcgen import LeafBatch, execute_batch
 from .sampler import GEN_BATCH, SamplerConfig
 
@@ -110,6 +110,7 @@ def _init_worker_telemetry(tele: Optional[tuple[str, str, str]]) -> None:
 
 def _init_fork_worker(tele: Optional[tuple[str, str, str]]) -> None:
     """Pool initializer for the fork path (model arrives copy-on-write)."""
+    signals.ignore_in_worker()
     _init_worker_telemetry(tele)
 
 
@@ -122,6 +123,7 @@ def _init_from_checkpoint(path, tokenizer, sampler, tasks, base_seed, tele=None)
     global _CTX
     from ..models.pagpassgpt import PagPassGPT
 
+    signals.ignore_in_worker()
     _init_worker_telemetry(tele)
     model = PagPassGPT.load(path)
     model.tokenizer = tokenizer
@@ -188,8 +190,15 @@ def _run_pool(
     policy: Optional[RetryPolicy] = None,
     on_result: Optional[Callable[[int, object], None]] = None,
     context: str = "parallel execution",
+    stop: Optional[Callable[[], None]] = None,
 ) -> list:
-    """Supervised map of ``guarded`` over task indices; results in task order."""
+    """Supervised map of ``guarded`` over task indices; results in task order.
+
+    ``stop`` (e.g. ``Budget.stopper``) is polled while waiting on worker
+    results so deadlines and graceful-shutdown signals interrupt the map
+    mid-wait; the supervisor terminates and reaps the pool on the way
+    out (see :func:`repro.runtime.retry.supervised_map`).
+    """
     global _CTX
     if not tasks:
         return []
@@ -222,6 +231,7 @@ def _run_pool(
                 serial_fn=serial_fn,
                 on_result=on_result,
                 context=context,
+                stop=stop,
             )
         finally:
             _CTX = None
@@ -246,6 +256,7 @@ def _run_pool(
             serial_fn=serial_fn,
             on_result=on_result,
             context=context,
+            stop=stop,
         )
 
 
@@ -261,6 +272,7 @@ def execute_batches_parallel(
     start_method: Optional[str] = None,
     policy: Optional[RetryPolicy] = None,
     on_result: Optional[Callable[[int, object], None]] = None,
+    stop: Optional[Callable[[], None]] = None,
 ) -> list[tuple[list[str], int]]:
     """Execute D&C-GEN leaf batches on a supervised process pool.
 
@@ -282,6 +294,7 @@ def execute_batches_parallel(
         policy=policy,
         on_result=on_result,
         context="parallel D&C-GEN execution",
+        stop=stop,
     )
 
 
@@ -301,6 +314,7 @@ def execute_free_chunks_parallel(
     start_method: Optional[str] = None,
     policy: Optional[RetryPolicy] = None,
     on_result: Optional[Callable[[int, object], None]] = None,
+    stop: Optional[Callable[[], None]] = None,
 ) -> list[list[str]]:
     """Run ``(chunk_index, rows)`` free-generation chunks on a pool.
 
@@ -325,6 +339,7 @@ def execute_free_chunks_parallel(
         policy=policy,
         on_result=on_result,
         context="parallel free generation",
+        stop=stop,
     )
 
 

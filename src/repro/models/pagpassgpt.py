@@ -25,7 +25,7 @@ from .. import telemetry
 from ..datasets.corpus import PasswordCorpus
 from ..generation.sampler import GEN_BATCH, SamplerConfig, sample_constrained, sample_masked
 from ..nn import GPT2Config, GPT2Inference, GPT2Model, PromptCache
-from ..runtime import RunJournal, maybe_fail
+from ..runtime import Budget, RunJournal, maybe_fail
 from ..tokenizer.patterns import Pattern
 from ..tokenizer.tokenizer import PasswordTokenizer
 from ..training import TrainConfig, TrainHistory, Trainer
@@ -75,12 +75,14 @@ class PagPassGPT(PatternGuidedGuesser):
         log_fn=None,
         checkpoint_path=None,
         resume_from=None,
+        budget: Optional[Budget] = None,
     ) -> "PagPassGPT":
         """Train on rules built from ``corpus``; records its S_p for D&C-GEN.
 
         ``checkpoint_path`` enables per-epoch crash-safe training state;
         ``resume_from`` continues an interrupted run from such a state
-        file (see :meth:`repro.training.Trainer.fit`).
+        file, and ``budget`` converts deadlines/signals into a graceful
+        epoch-boundary stop (see :meth:`repro.training.Trainer.fit`).
         """
         train_ids = self.tokenizer.encode_corpus(corpus.passwords)
         val_ids = (
@@ -93,6 +95,7 @@ class PagPassGPT(PatternGuidedGuesser):
         self.history = trainer.fit(
             train_ids, val_ids,
             checkpoint_path=checkpoint_path, resume_from=resume_from,
+            budget=budget,
         )
         self.pattern_probs = dict(corpus.pattern_probs)
         self._fitted = True
@@ -230,6 +233,7 @@ class PagPassGPT(PatternGuidedGuesser):
         progress: Optional[Callable[[int, int], None]] = None,
         strategy: str = "sampled",
         ordered_config=None,
+        budget: Optional[Budget] = None,
     ) -> list[str]:
         """Trawling approach 1: feed only ``<BOS>``, model writes the rest.
 
@@ -263,6 +267,12 @@ class PagPassGPT(PatternGuidedGuesser):
         chunk; with an active telemetry session the run emits
         ``campaign_plan`` / ``campaign_resume`` events and a
         ``campaign`` span, mirroring D&C-GEN campaigns.
+
+        ``budget`` (a :class:`~repro.runtime.Budget`) is polled after
+        every durable chunk/round boundary, converting deadlines, guess
+        quotas, and graceful-shutdown signals into a
+        :class:`~repro.runtime.CampaignInterrupted` whose completed work
+        is already journaled.
         """
         self._require_fitted(self._fitted)
         if strategy not in ("sampled", "ordered"):
@@ -275,7 +285,9 @@ class PagPassGPT(PatternGuidedGuesser):
             gen = OrderedGenerator.for_patterns(
                 self, config=ordered_config or OrderedConfig()
             )
-            return gen.generate(n, journal=journal, resume=resume, progress=progress)
+            return gen.generate(
+                n, journal=journal, resume=resume, progress=progress, budget=budget
+            )
         from ..generation.parallel import execute_free_chunks_parallel, free_chunks
 
         with telemetry.trace("campaign", kind="free", requested=int(n)):
@@ -300,7 +312,7 @@ class PagPassGPT(PatternGuidedGuesser):
                 owns_journal = True
             try:
                 return self._generate_free(
-                    chunks, seed, workers, journal, progress
+                    chunks, seed, workers, journal, progress, budget
                 )
             finally:
                 if owns_journal:
@@ -313,6 +325,7 @@ class PagPassGPT(PatternGuidedGuesser):
         workers: int,
         journal: Optional[RunJournal],
         progress: Optional[Callable[[int, int], None]],
+        budget: Optional[Budget] = None,
     ) -> list[str]:
         from ..generation.parallel import execute_free_chunks_parallel
 
@@ -331,6 +344,14 @@ class PagPassGPT(PatternGuidedGuesser):
         if progress is not None:
             progress(done_rows, total_rows)
 
+        def current_progress() -> dict:
+            return {
+                "guesses": done_rows,
+                "model_calls": 0,
+                "tasks": len(results),
+                "n_tasks": len(chunks),
+            }
+
         def on_result(position: int, value: list[str]) -> None:
             nonlocal done_rows
             chunk_index = pending[position][0]
@@ -341,11 +362,16 @@ class PagPassGPT(PatternGuidedGuesser):
             done_rows += len(value)
             if progress is not None:
                 progress(done_rows, total_rows)
+            if budget is not None:
+                budget.poll(**current_progress())
 
+        if budget is not None:
+            budget.poll(**current_progress())
         if workers > 1 and len(pending) > 1:
             try:
                 execute_free_chunks_parallel(
-                    self, pending, seed, workers, on_result=on_result
+                    self, pending, seed, workers, on_result=on_result,
+                    stop=None if budget is None else budget.stopper(current_progress),
                 )
             except Exception as exc:
                 warnings.warn(

@@ -59,6 +59,7 @@ class PassGPT(PatternGuidedGuesser):
         log_fn=None,
         checkpoint_path=None,
         resume_from=None,
+        budget=None,
     ) -> "PassGPT":
         train_ids = self.tokenizer.encode_corpus(corpus.passwords)
         val_ids = (
@@ -71,6 +72,7 @@ class PassGPT(PatternGuidedGuesser):
         self.history = trainer.fit(
             train_ids, val_ids,
             checkpoint_path=checkpoint_path, resume_from=resume_from,
+            budget=budget,
         )
         self._fitted = True
         self._inference = None

@@ -1,45 +1,89 @@
-"""Fault-tolerant runtime: atomic writes, run journals, retry, faults.
+"""Fault-tolerant runtime: atomic writes, run journals, retry, faults,
+deadlines, signals, and artifact integrity.
 
 The paper's real workloads run for days (25 GPU-hours of training, up to
-10^9 guesses per D&C-GEN campaign); this package makes that work durable:
+10^9 guesses per D&C-GEN campaign); this package makes that work durable
+and governable:
 
-* :mod:`~repro.runtime.atomic` — crash-safe file replacement, used by
-  every checkpoint and output writer;
+* :mod:`~repro.runtime.atomic` — crash-safe file replacement and
+  append streams with ENOSPC safe-abort, used by every checkpoint and
+  output writer;
 * :mod:`~repro.runtime.journal` — append-only JSONL journals that let an
   interrupted campaign resume byte-identically;
-* :mod:`~repro.runtime.retry` — bounded retry/backoff plus supervised
-  pool execution where one bad worker costs only its own shards;
+* :mod:`~repro.runtime.retry` — bounded retry/backoff (with seeded
+  jitter) plus supervised pool execution where one bad worker costs only
+  its own shards;
+* :mod:`~repro.runtime.deadline` — cooperative wall-clock / guess /
+  model-call budgets whose trip is a *graceful* stop at a durable
+  boundary;
+* :mod:`~repro.runtime.signals` — SIGTERM/SIGINT → graceful-stop
+  conversion (one-shot; second signal hard-exits);
+* :mod:`~repro.runtime.integrity` — checksum manifests, journal
+  scanning/repair, checkpoint verification (``repro verify``);
 * :mod:`~repro.runtime.faults` — injection hooks (crash / hang /
-  corrupt) that the fault-tolerance tests drive.
+  corrupt / disk_full / signal) that the fault-tolerance and chaos
+  harnesses drive.
 """
 
-from .atomic import AppendStream, atomic_write, atomic_write_bytes, atomic_write_text
+from .atomic import (
+    AppendStream,
+    DiskFullError,
+    atomic_write,
+    atomic_write_bytes,
+    atomic_write_text,
+    ensure_free_space,
+)
+from .deadline import Budget, CampaignInterrupted
 from .faults import (
     FAULT_ENV,
     FAULT_STATE_ENV,
     InjectedFault,
     corrupt_file,
+    hang_seconds,
     maybe_corrupt,
+    maybe_disk_full,
     maybe_fail,
+)
+from .integrity import (
+    Finding,
+    repair_journal,
+    scan_journal,
+    verify_manifest,
+    verify_paths,
+    write_manifest,
 )
 from .journal import JournalError, RunJournal, file_digest
 from .retry import RetryPolicy, retry_call, supervised_map
+from . import signals
 
 __all__ = [
     "AppendStream",
+    "DiskFullError",
     "atomic_write",
     "atomic_write_bytes",
     "atomic_write_text",
+    "ensure_free_space",
+    "Budget",
+    "CampaignInterrupted",
     "FAULT_ENV",
     "FAULT_STATE_ENV",
     "InjectedFault",
     "corrupt_file",
+    "hang_seconds",
     "maybe_corrupt",
+    "maybe_disk_full",
     "maybe_fail",
+    "Finding",
+    "repair_journal",
+    "scan_journal",
+    "verify_manifest",
+    "verify_paths",
+    "write_manifest",
     "JournalError",
     "RunJournal",
     "file_digest",
     "RetryPolicy",
     "retry_call",
     "supervised_map",
+    "signals",
 ]

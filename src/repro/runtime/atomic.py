@@ -5,15 +5,62 @@ state, guess files — goes through :func:`atomic_write`, so an interrupted
 process can never leave a truncated file at the destination path.  The
 destination either holds its previous content or the complete new
 content, never a torn write.
+
+Disk exhaustion gets the same guarantee: :func:`ensure_free_space` is a
+statvfs preflight for large writes, :func:`atomic_write` fails onto its
+temp file (the destination is untouched), and
+:meth:`AppendStream.write_line` truncates a partially-appended line back
+off the file so an ENOSPC can shorten a journal but never tear it.  All
+of these raise :class:`DiskFullError`, which the chaos harness also
+injects via the ``disk_full`` fault directive.
 """
 
 from __future__ import annotations
 
+import errno
 import os
 import tempfile
 from contextlib import contextmanager
 from pathlib import Path
 from typing import IO, Iterator
+
+
+class DiskFullError(OSError):
+    """ENOSPC, surfaced after the write path has safely aborted.
+
+    By the time this propagates, the artifact being written is in a
+    usable state: ``atomic_write`` targets are untouched and append
+    streams have had any partial tail truncated away.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(errno.ENOSPC, message)
+
+
+def _is_enospc(exc: OSError) -> bool:
+    return exc.errno in (errno.ENOSPC, errno.EDQUOT)
+
+
+def ensure_free_space(path: str | Path, need_bytes: int) -> None:
+    """Preflight: raise :class:`DiskFullError` unless the filesystem
+    holding ``path`` has at least ``need_bytes`` available.
+
+    Checked before large known-size writes (checkpoints, output files)
+    so a run stops at a clean boundary instead of mid-artifact.  A
+    filesystem that cannot report free space (``statvfs`` failing) is
+    not treated as full.
+    """
+    path = Path(path)
+    probe = path if path.exists() else path.parent
+    try:
+        stat = os.statvfs(probe)
+    except (OSError, AttributeError):  # pragma: no cover - exotic filesystems
+        return
+    free = stat.f_bavail * stat.f_frsize
+    if free < need_bytes:
+        raise DiskFullError(
+            f"not enough space on {probe}: need {need_bytes} bytes, {free} available"
+        )
 
 
 @contextmanager
@@ -24,10 +71,15 @@ def atomic_write(path: str | Path, mode: str = "wb") -> Iterator[IO]:
     fsynced, then moved onto ``path`` with ``os.replace`` (atomic on POSIX
     for same-filesystem renames — the temp file lives next to the target
     to guarantee that).  If the block raises, the temp file is removed and
-    the target is left untouched.
+    the target is left untouched.  An ENOSPC while writing or fsyncing the
+    temp file is re-raised as :class:`DiskFullError`; the destination still
+    holds its previous content.
     """
+    from . import faults  # local: faults imports DiskFullError from here
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    faults.maybe_disk_full("atomic")
     fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
     try:
         with os.fdopen(fd, mode) as fh:
@@ -35,11 +87,13 @@ def atomic_write(path: str | Path, mode: str = "wb") -> Iterator[IO]:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
-    except BaseException:
+    except BaseException as exc:
         try:
             os.unlink(tmp)
         except OSError:
             pass
+        if isinstance(exc, OSError) and not isinstance(exc, DiskFullError) and _is_enospc(exc):
+            raise DiskFullError(f"disk full while writing {path}") from exc
         raise
     _fsync_dir(path.parent)
 
@@ -74,6 +128,15 @@ class AppendStream:
     so interleaved writers — e.g. several worker processes sharing a log
     — never interleave bytes *within* a line, and there is no userspace
     buffer to lose on an abrupt kill.
+
+    ENOSPC safe-abort: if the kernel accepts only part of a line (short
+    write) or rejects it outright, the file is truncated back to its
+    pre-write size and :class:`DiskFullError` raised — the stream loses
+    the failed line, never gains a torn one.  (The truncation assumes the
+    partial line is still the tail; a concurrent appender racing into the
+    gap between a *short* write and the truncate is not defended against,
+    but short writes on O_APPEND only happen when the disk is already
+    full, which also stops the other appenders.)
     """
 
     def __init__(self, path: str | Path) -> None:
@@ -85,7 +148,27 @@ class AppendStream:
         """Append one line (a trailing newline is added if missing)."""
         if not line.endswith("\n"):
             line += "\n"
-        os.write(self._fd, line.encode("utf-8"))
+        data = line.encode("utf-8")
+        size_before = os.fstat(self._fd).st_size
+        try:
+            written = os.write(self._fd, data)
+        except OSError as exc:
+            if _is_enospc(exc):
+                self._rollback(size_before)
+                raise DiskFullError(f"disk full appending to {self.path}") from exc
+            raise
+        if written != len(data):
+            self._rollback(size_before)
+            raise DiskFullError(
+                f"short write appending to {self.path} "
+                f"({written}/{len(data)} bytes): disk full"
+            )
+
+    def _rollback(self, size: int) -> None:
+        try:
+            os.ftruncate(self._fd, size)
+        except OSError:  # pragma: no cover - nothing more we can do
+            pass
 
     def fsync(self) -> None:
         try:

@@ -1,0 +1,372 @@
+"""Randomized chaos harness: crash anywhere, resume exactly.
+
+The fault-tolerance tests exercise hand-picked fault sites; this module
+generalises them into a *property*: for a seeded random schedule of
+faults — process crashes, wedged workers, torn journal tails, disk
+exhaustion, SIGTERM — injected at random sites and counts, across every
+generation strategy and worker count, an interrupted-then-resumed
+campaign must produce a guess stream **byte-identical** to an
+undisturbed golden run, with ``telemetry summarize --check`` holding on
+the resumed leg.  ``repro chaos`` runs the harness from the CLI and the
+CI smoke pins a fixed seed.
+
+Each :class:`ChaosCase` is three in-process CLI legs (the same
+``cli.main`` the operator runs, so signal handling, exit codes, and
+telemetry behave exactly as in production):
+
+1. **golden** — undisturbed run, captures the expected output bytes;
+2. **chaos** — same campaign with a one-shot fault directive armed (and,
+   for ``corrupt`` cases, the surviving journal's tail torn afterwards,
+   then ``verify --repair`` run over it — an unrepairable journal is
+   deleted, which is the documented operator flow);
+3. **resume** — fault cleared, ``--resume`` into a fresh telemetry dir;
+   must exit 0, match the golden bytes, and pass ``summarize --check``.
+
+Faults fire via the :mod:`repro.runtime.faults` environment directives
+with a state directory, so every directive is one-shot — exactly one
+disturbance per schedule, at a seeded random site/count.  Hangs are
+shortened via ``REPRO_FAULT_HANG_SECONDS`` and paired with a short
+``REPRO_TASK_TIMEOUT`` watchdog so a chaos run takes seconds, not
+minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from . import faults, signals
+from .atomic import DiskFullError
+from .faults import FAULT_ENV, FAULT_STATE_ENV, HANG_SECONDS_ENV, InjectedFault, corrupt_file
+from .retry import TASK_TIMEOUT_ENV
+
+#: Default guesses per strategy — enough journaled units for the random
+#: fault count to land at several distinct boundaries, small enough that
+#: a full sweep stays CI-sized.
+DEFAULT_N = {"sampled": 1200, "dcgen": 800, "ordered": 200}
+
+#: Exit codes a chaos leg may legitimately end with (see docs/API.md):
+#: 0 completed (hangs are survivable), 1 runtime failure (disk full),
+#: 3 deadline/budget, 4 signal.
+_ACCEPTABLE_CHAOS_EXITS = {0, 1, 3, 4}
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """One seeded schedule: a campaign shape plus a fault to inject."""
+
+    case_id: int
+    strategy: str  # sampled | dcgen | ordered
+    workers: int
+    seed: int  # campaign seed (feeds --seed)
+    fault: str  # REPRO_FAULT directive, or "corrupt_tail" (harness-applied)
+
+    def describe(self) -> str:
+        return (
+            f"case {self.case_id}: {self.strategy} workers={self.workers} "
+            f"seed={self.seed} fault={self.fault}"
+        )
+
+
+@dataclass
+class CaseResult:
+    case: ChaosCase
+    chaos_outcome: str = ""  # "exit:N" or "raise:ExcName"
+    resume_exit: Optional[int] = None
+    identical: bool = False
+    check_ok: bool = False
+    repair_exit: Optional[int] = None
+    failure: Optional[str] = None  # None = invariant held
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def to_dict(self) -> dict:
+        return {
+            "case_id": self.case.case_id,
+            "strategy": self.case.strategy,
+            "workers": self.case.workers,
+            "seed": self.case.seed,
+            "fault": self.case.fault,
+            "chaos_outcome": self.chaos_outcome,
+            "repair_exit": self.repair_exit,
+            "resume_exit": self.resume_exit,
+            "identical": self.identical,
+            "check_ok": self.check_ok,
+            "failure": self.failure,
+        }
+
+
+@dataclass
+class ChaosReport:
+    cases: list[CaseResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[CaseResult]:
+        return [r for r in self.cases if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "total": len(self.cases),
+            "failed": len(self.failures),
+            "ok": self.ok,
+            "cases": [r.to_dict() for r in self.cases],
+        }
+
+
+def _fault_menu(strategy: str, workers: int) -> list[str]:
+    """Fault directives applicable to a campaign shape.
+
+    Site choice follows where the strategy journals: ``free_chunk`` /
+    ``leaf_batch`` / ``frontier`` are the parent-side durable boundaries,
+    ``journal`` is the disk-full site, ``worker`` only exists on the pool
+    path (``workers > 1``).  ``corrupt_tail`` is applied by the harness
+    to the journal a crash leaves behind.
+    """
+    site = {"sampled": "free_chunk", "dcgen": "leaf_batch", "ordered": "frontier"}[strategy]
+    menu = [
+        f"crash:{site}:K",
+        f"signal:{site}:K",
+        "disk_full:journal:K",
+        "corrupt_tail",
+    ]
+    if workers > 1:
+        menu.append("hang:worker:K")
+        menu.append("crash:worker:K")
+    return menu
+
+
+def build_schedule(
+    base_seed: int,
+    strategies: list[str],
+    workers_list: list[int],
+    per_strategy: int,
+) -> list[ChaosCase]:
+    """The deterministic case list a seed expands to.
+
+    Every (strategy, workers) pair gets ``per_strategy`` cases; faults
+    and counts are drawn from ``random.Random(base_seed)``, so the same
+    seed always replays the same schedule (the CI smoke and a failing
+    case's repro command depend on this).
+    """
+    rng = random.Random(base_seed)
+    cases: list[ChaosCase] = []
+    for strategy in strategies:
+        for workers in workers_list:
+            if strategy == "ordered" and workers > 1:
+                continue  # ordered enumeration is serial by design
+            for _ in range(per_strategy):
+                fault = rng.choice(_fault_menu(strategy, workers))
+                fault = fault.replace(":K", f":{rng.randrange(0, 3)}")
+                cases.append(
+                    ChaosCase(
+                        case_id=len(cases),
+                        strategy=strategy,
+                        workers=workers,
+                        seed=rng.randrange(0, 1_000_000),
+                        fault=fault,
+                    )
+                )
+    return cases
+
+
+class _env:
+    """Set environment variables for a block, restoring them after."""
+
+    def __init__(self, **values: Optional[str]) -> None:
+        self.values = values
+        self.saved: dict[str, Optional[str]] = {}
+
+    def __enter__(self) -> "_env":
+        for key, value in self.values.items():
+            self.saved[key] = os.environ.get(key)
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for key, old in self.saved.items():
+            if old is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = old
+
+
+def _run_cli(argv: list[str]) -> tuple[Optional[int], Optional[BaseException]]:
+    """One in-process CLI leg; returns ``(exit_code, exception)``.
+
+    Injected faults and ENOSPC deliberately escape ``cli.main`` the way
+    a real crash would escape the process; everything else is an exit
+    code.  Fault counters and any pending signal state are reset after
+    the leg so legs stay independent.
+    """
+    from .. import cli  # lazy: cli imports this package
+
+    try:
+        return cli.main(argv), None
+    except (InjectedFault, DiskFullError) as exc:
+        return None, exc
+    finally:
+        faults.reset()
+        signals.reset()
+
+
+def run_case(
+    case: ChaosCase,
+    checkpoint: str | Path,
+    workdir: Path,
+    n: Optional[int] = None,
+    hang_seconds: float = 0.5,
+    task_timeout: float = 2.0,
+    golden_cache: Optional[dict] = None,
+) -> CaseResult:
+    """Execute one chaos case end to end; never raises for a held/failed
+    invariant (the verdict lives in the returned :class:`CaseResult`)."""
+    result = CaseResult(case)
+    n = n if n is not None else DEFAULT_N[case.strategy]
+    casedir = workdir / f"case-{case.case_id}"
+    casedir.mkdir(parents=True, exist_ok=True)
+
+    common = [
+        "generate", "--checkpoint", str(checkpoint), "-n", str(n),
+        "--seed", str(case.seed), "--strategy", case.strategy,
+        "--workers", str(case.workers),
+    ]
+    if case.strategy == "dcgen":
+        common += ["--threshold", "32"]
+    if case.strategy == "ordered":
+        common += ["--beam-width", "8", "--max-frontier", "4000", "--snapshot-every", "2"]
+
+    # Leg 1: golden run (cached per campaign shape — the fault draw does
+    # not change what the undisturbed output should be).
+    golden_key = (case.strategy, case.workers, case.seed, n)
+    golden_bytes = (golden_cache or {}).get(golden_key)
+    if golden_bytes is None:
+        golden_out = casedir / "golden.txt"
+        code, exc = _run_cli(common + ["--out", str(golden_out)])
+        if exc is not None or code != 0:
+            result.failure = f"golden run failed: exit={code} exc={exc!r}"
+            return result
+        golden_bytes = golden_out.read_bytes()
+        if golden_cache is not None:
+            golden_cache[golden_key] = golden_bytes
+
+    # Leg 2: the same campaign with one fault armed.
+    out = casedir / "out.txt"
+    journal = casedir / "run.journal.jsonl"
+    state_dir = casedir / "fault-state"
+    directive = None if case.fault == "corrupt_tail" else case.fault
+    if case.fault == "corrupt_tail":
+        # Tear the tail of whatever journal a crash leaves behind: crash
+        # first (deterministic site), then corrupt the file.
+        site = {"sampled": "free_chunk", "dcgen": "leaf_batch", "ordered": "frontier"}[
+            case.strategy
+        ]
+        directive = f"crash:{site}:1"
+    with _env(**{
+        FAULT_ENV: directive,
+        FAULT_STATE_ENV: str(state_dir),
+        HANG_SECONDS_ENV: str(hang_seconds),
+        TASK_TIMEOUT_ENV: str(task_timeout),
+    }):
+        code, exc = _run_cli(
+            common + ["--out", str(out), "--journal", str(journal)]
+        )
+    result.chaos_outcome = f"raise:{type(exc).__name__}" if exc is not None else f"exit:{code}"
+    if exc is None and code not in _ACCEPTABLE_CHAOS_EXITS:
+        result.failure = f"chaos leg ended with unexpected exit code {code}"
+        return result
+
+    completed_clean = exc is None and code == 0  # e.g. a survived hang
+    if completed_clean:
+        # Nothing to resume; the disturbed run itself must match golden.
+        result.resume_exit = 0
+        result.identical = out.read_bytes() == golden_bytes
+        result.check_ok = True
+        if not result.identical:
+            result.failure = "survived-fault output differs from golden run"
+        return result
+
+    if case.fault == "corrupt_tail" and journal.exists():
+        corrupt_file(journal, keep_fraction=0.7)
+        result.repair_exit, _ = _run_cli(["verify", str(journal), "--repair"])
+        if result.repair_exit == 2:
+            # Unrepairable (tear reached the header): the documented
+            # operator flow is to discard the journal and rerun.
+            journal.unlink()
+
+    # Leg 3: resume with the fault cleared; fresh telemetry dir so the
+    # summarize --check accounting covers exactly the resumed process.
+    tele = casedir / "tele-resume"
+    with _env(**{
+        FAULT_ENV: None,
+        FAULT_STATE_ENV: None,
+        HANG_SECONDS_ENV: None,
+        TASK_TIMEOUT_ENV: str(task_timeout),
+    }):
+        code, exc = _run_cli(
+            common
+            + ["--out", str(out), "--journal", str(journal), "--resume",
+               "--telemetry", str(tele)]
+        )
+    result.resume_exit = code
+    if exc is not None or code != 0:
+        result.failure = f"resume leg failed: exit={code} exc={exc!r}"
+        return result
+
+    result.identical = out.read_bytes() == golden_bytes
+    check_code, _ = _run_cli(["telemetry", "summarize", str(tele), "--check"])
+    result.check_ok = check_code == 0
+    if not result.identical:
+        result.failure = "resumed output differs from golden run"
+    elif not result.check_ok:
+        result.failure = "telemetry summarize --check failed on the resume leg"
+    elif journal.exists():
+        result.failure = "spent journal not cleaned up after successful resume"
+    return result
+
+
+def run_chaos(
+    checkpoint: str | Path,
+    workdir: str | Path,
+    base_seed: int = 0,
+    strategies: Optional[list[str]] = None,
+    workers_list: Optional[list[int]] = None,
+    per_strategy: int = 2,
+    n: Optional[int] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Run a full seeded chaos sweep; returns the per-case report.
+
+    ``per_strategy`` cases are run for every (strategy, workers) shape —
+    the acceptance sweep uses ≥ 20, the CI smoke 1-2.  ``n`` overrides
+    the per-strategy guess budget (tests use tiny budgets).
+    """
+    strategies = strategies or ["sampled", "dcgen", "ordered"]
+    workers_list = workers_list or [1, 2]
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    cases = build_schedule(base_seed, strategies, workers_list, per_strategy)
+    report = ChaosReport()
+    golden_cache: dict = {}
+    for case in cases:
+        if log is not None:
+            log(case.describe())
+        result = run_case(
+            case, checkpoint, workdir, n=n, golden_cache=golden_cache
+        )
+        report.cases.append(result)
+        if log is not None:
+            verdict = "ok" if result.ok else f"FAIL ({result.failure})"
+            log(f"  -> {result.chaos_outcome}, resume={result.resume_exit}: {verdict}")
+    return report

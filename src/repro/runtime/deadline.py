@@ -1,0 +1,157 @@
+"""Cooperative deadlines and resource budgets for campaign loops.
+
+The paper's evaluation spends multi-billion-guess budgets over days of
+wall clock; operationally such a campaign must stop *cleanly* when it
+hits a scheduler deadline, a guess quota, or a model-call quota — not
+when the kernel kills it.  A :class:`Budget` is the cooperative contract
+for that: execution loops (D&C-GEN batches, free-generation chunks,
+ordered rounds, training epochs) call :meth:`Budget.poll` at their
+natural boundaries, and a tripped budget raises
+:class:`CampaignInterrupted` *after* the loop's progress is durable —
+the journal record or state checkpoint for the completed unit has
+already been written — so ``--resume`` continues byte-identically.
+
+A budget also observes the process-global graceful-stop request set by
+:mod:`repro.runtime.signals`, which is how SIGTERM/SIGINT ride the same
+graceful-stop path as deadlines.
+
+:class:`CampaignInterrupted` derives from ``BaseException`` for the same
+reason :class:`~repro.runtime.faults.InjectedFault` does: a graceful
+stop must cut straight through ``except Exception`` fallbacks (e.g. the
+parallel-to-serial rescue path) instead of being treated as a worker
+failure and retried.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from . import signals
+
+#: poll() reasons, in the order they are checked.
+REASONS = ("signal", "deadline", "guesses", "model_calls")
+
+
+class CampaignInterrupted(BaseException):
+    """A cooperative stop: deadline, quota, or delivered signal.
+
+    ``reason`` is one of :data:`REASONS`; ``progress`` carries the exact
+    progress counters the interrupted loop reported to
+    :meth:`Budget.poll` (also emitted on the ``campaign_interrupted``
+    telemetry event).  BaseException on purpose — see module docstring.
+    """
+
+    def __init__(self, reason: str, progress: Optional[dict] = None) -> None:
+        self.reason = reason
+        self.progress = dict(progress or {})
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(self.progress.items()))
+        super().__init__(f"campaign interrupted ({reason})" + (f": {detail}" if detail else ""))
+
+
+class Budget:
+    """Wall-clock / guess / model-call limits, polled cooperatively.
+
+    All limits are optional; a limitless budget still converts a
+    delivered SIGTERM/SIGINT into a graceful stop, which is why the CLI
+    always threads one through.  ``clock`` is injectable for tests.
+
+    Loops report *absolute* progress (``poll(guesses=done, ...)``), not
+    deltas, so polling is idempotent and resume-friendly: a budget never
+    accumulates state of its own beyond the start timestamp.
+    """
+
+    def __init__(
+        self,
+        wall_seconds: Optional[float] = None,
+        max_guesses: Optional[int] = None,
+        max_model_calls: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if wall_seconds is not None and wall_seconds <= 0:
+            raise ValueError("wall_seconds must be positive or None")
+        if max_guesses is not None and max_guesses <= 0:
+            raise ValueError("max_guesses must be positive or None")
+        if max_model_calls is not None and max_model_calls <= 0:
+            raise ValueError("max_model_calls must be positive or None")
+        self.wall_seconds = wall_seconds
+        self.max_guesses = max_guesses
+        self.max_model_calls = max_model_calls
+        self._clock = clock
+        self._start = clock()
+
+    @classmethod
+    def deadline(cls, seconds: float) -> "Budget":
+        """Pure wall-clock deadline (the most common operational limit)."""
+        return cls(wall_seconds=seconds)
+
+    def elapsed(self) -> float:
+        """Seconds since the budget was created."""
+        return self._clock() - self._start
+
+    def exceeded(
+        self,
+        guesses: Optional[int] = None,
+        model_calls: Optional[int] = None,
+    ) -> Optional[str]:
+        """The tripped limit's reason, or ``None`` while within budget.
+
+        A pending graceful-stop signal (see :mod:`repro.runtime.signals`)
+        outranks every limit; counters are only compared when the caller
+        reports them.
+        """
+        if signals.requested() is not None:
+            return "signal"
+        if self.wall_seconds is not None and self.elapsed() >= self.wall_seconds:
+            return "deadline"
+        if (
+            self.max_guesses is not None
+            and guesses is not None
+            and guesses >= self.max_guesses
+        ):
+            return "guesses"
+        if (
+            self.max_model_calls is not None
+            and model_calls is not None
+            and model_calls >= self.max_model_calls
+        ):
+            return "model_calls"
+        return None
+
+    def poll(self, **progress) -> None:
+        """Raise :class:`CampaignInterrupted` if any limit has tripped.
+
+        Call at a durable boundary — after the just-completed unit's
+        journal record / snapshot / checkpoint is on disk — with the
+        exact progress counters (``guesses=``, ``model_calls=``, plus
+        any extra context like ``epochs=`` or ``rounds=``).  On trip, a
+        ``campaign_interrupted`` telemetry event carrying the reason,
+        elapsed wall time, and the full progress dict is emitted before
+        the raise, so the interruption is observable even when the
+        caller cannot add its own handling.
+        """
+        reason = self.exceeded(
+            guesses=progress.get("guesses"), model_calls=progress.get("model_calls")
+        )
+        if reason is None:
+            return
+        from .. import telemetry  # lazy: telemetry builds on runtime.atomic
+
+        telemetry.emit(
+            "campaign_interrupted",
+            level="warning",
+            reason=reason,
+            elapsed_s=round(self.elapsed(), 3),
+            **progress,
+        )
+        raise CampaignInterrupted(reason, progress)
+
+    def stopper(self, progress: Callable[[], dict]) -> Callable[[], None]:
+        """A zero-argument poll closure for wait loops.
+
+        ``progress`` supplies the current counters at call time; the
+        pool supervisor uses this to notice deadlines and signals while
+        *waiting* for worker results (when no ``on_result`` boundary is
+        firing).
+        """
+        return lambda: self.poll(**progress())

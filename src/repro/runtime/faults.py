@@ -1,11 +1,13 @@
-"""Fault injection for the fault-tolerance test harness.
+"""Fault injection for the fault-tolerance and chaos test harnesses.
 
 Faults are declared in the ``REPRO_FAULT`` environment variable as a
 comma-separated list of directives::
 
-    crash:<site>[:K]     raise InjectedFault at <site>
-    hang:<site>[:K]      sleep HANG_SECONDS at <site> (simulates a wedged worker)
-    corrupt:<site>[:K]   truncate the file written at <site> (via maybe_corrupt)
+    crash:<site>[:K]      raise InjectedFault at <site>
+    hang:<site>[:K]       sleep hang_seconds() at <site> (wedged worker)
+    corrupt:<site>[:K]    truncate the file written at <site> (maybe_corrupt)
+    disk_full:<site>[:K]  raise DiskFullError (ENOSPC) at <site> (maybe_disk_full)
+    signal:<site>[:K]     deliver SIGTERM to this process at <site>
 
 ``<site>`` names an instrumented point in the production code; the sites
 currently wired are:
@@ -17,6 +19,9 @@ currently wired are:
 ``frontier``            ordered-generation frontier snapshot (before the write)
 ``epoch``               completion of a training epoch (before its checkpoint)
 ``checkpoint``          ``save_checkpoint`` after writing (corrupt only)
+``train_state``         ``save_training_state`` after writing (corrupt only)
+``journal``             ``RunJournal.record`` before the append (disk_full only)
+``atomic``              ``atomic_write`` before the temp write (disk_full only)
 ======================  ======================================================
 
 ``K`` selects when the directive fires: for indexed sites it matches the
@@ -31,6 +36,17 @@ of the failed task succeeds, which is how the retry tests distinguish
 to ``<dir>/calls.log`` as ``site:index`` lines, which the tests use to
 assert exact execution counts.
 
+``hang`` sleeps :func:`hang_seconds` — :data:`HANG_SECONDS` by default,
+overridable per run via ``REPRO_FAULT_HANG_SECONDS`` so chaos schedules
+and CI can use sub-second hangs against a short watchdog instead of the
+30 s production constant.
+
+``signal`` delivers a real SIGTERM to the current process, exercising
+the graceful-shutdown path (:mod:`repro.runtime.signals`) at an exact,
+reproducible site instead of an arbitrary wall-clock instant — that
+determinism is what lets the chaos harness assert byte-identical resume
+after "a SIGTERM anywhere".
+
 :class:`InjectedFault` derives from ``BaseException`` on purpose: an
 injected crash stands in for a SIGKILL / OOM of the whole process, so no
 production ``except Exception`` fallback may swallow it.
@@ -39,6 +55,7 @@ production ``except Exception`` fallback may swallow it.
 from __future__ import annotations
 
 import os
+import signal as _signal
 import time
 from pathlib import Path
 from typing import Optional
@@ -47,10 +64,12 @@ from typing import Optional
 FAULT_ENV = "REPRO_FAULT"
 #: Directory for one-shot markers and the call log.
 FAULT_STATE_ENV = "REPRO_FAULT_STATE"
-#: How long an injected hang sleeps (far longer than any test timeout).
+#: Override for the injected-hang duration (seconds, float).
+HANG_SECONDS_ENV = "REPRO_FAULT_HANG_SECONDS"
+#: Default injected-hang sleep (far longer than any test timeout).
 HANG_SECONDS = 30.0
 
-_ACTIONS = ("crash", "hang", "corrupt")
+_ACTIONS = ("crash", "hang", "corrupt", "disk_full", "signal")
 
 #: Per-process call counters by site (counter-site directives only).
 _counts: dict[str, int] = {}
@@ -58,6 +77,19 @@ _counts: dict[str, int] = {}
 
 class InjectedFault(BaseException):
     """An injected crash. BaseException so generic fallbacks can't eat it."""
+
+
+def hang_seconds() -> float:
+    """How long an injected hang sleeps (``REPRO_FAULT_HANG_SECONDS`` wins)."""
+    raw = os.environ.get(HANG_SECONDS_ENV)
+    if raw:
+        try:
+            return max(0.0, float(raw))
+        except ValueError:
+            raise ValueError(
+                f"bad {HANG_SECONDS_ENV} value {raw!r}; expected seconds as a float"
+            ) from None
+    return HANG_SECONDS
 
 
 def reset() -> None:
@@ -109,13 +141,15 @@ def _log_call(site: str, index: Optional[int]) -> None:
 
 
 def maybe_fail(site: str, index: Optional[int] = None) -> None:
-    """Fire any crash/hang directive aimed at ``site``; otherwise a no-op.
+    """Fire any crash/hang/signal directive aimed at ``site``; else no-op.
 
     ``index`` marks an indexed site (pool tasks); without it the site is
     counted per process and ``K`` means "after K clean calls".
     """
     _log_call(site, index)
-    matching = [d for d in _directives() if d[1] == site and d[0] in ("crash", "hang")]
+    matching = [
+        d for d in _directives() if d[1] == site and d[0] in ("crash", "hang", "signal")
+    ]
     if not matching:
         return
     count = _counts.get(site, 0)
@@ -131,7 +165,12 @@ def maybe_fail(site: str, index: Optional[int] = None) -> None:
             raise InjectedFault(
                 f"injected crash at site {site!r} (call {count}, index {index})"
             )
-        time.sleep(HANG_SECONDS)
+        if action == "signal":
+            # A real SIGTERM at a deterministic site: the graceful
+            # handler (if installed) converts it into a stop request.
+            os.kill(os.getpid(), _signal.SIGTERM)
+            continue
+        time.sleep(hang_seconds())
 
 
 def maybe_corrupt(site: str, path: str | Path) -> None:
@@ -146,6 +185,29 @@ def maybe_corrupt(site: str, path: str | Path) -> None:
         if (arg is None or count >= arg) and _trip_once("corrupt", site, arg):
             corrupt_file(path)
             return
+
+
+def maybe_disk_full(site: str) -> None:
+    """Fire a ``disk_full:<site>`` directive by raising ENOSPC.
+
+    Placed *before* durable writes (``RunJournal.record``,
+    ``atomic_write``) so the chaos harness can simulate a full disk at
+    an exact record boundary; the write paths guarantee that a raise
+    here — like a real ENOSPC mid-write — never leaves a torn artifact.
+    """
+    matching = [d for d in _directives() if d[0] == "disk_full" and d[1] == site]
+    if not matching:
+        return
+    from .atomic import DiskFullError  # local: atomic must not import faults
+
+    key = f"disk_full:{site}"
+    count = _counts.get(key, 0)
+    _counts[key] = count + 1
+    for _, _, arg in matching:
+        if (arg is None or count >= arg) and _trip_once("disk_full", site, arg):
+            raise DiskFullError(
+                f"injected ENOSPC at site {site!r} (call {count})"
+            )
 
 
 def corrupt_file(path: str | Path, keep_fraction: float = 0.5) -> None:

@@ -34,6 +34,8 @@ import os
 from pathlib import Path
 from typing import Any, Optional
 
+from .atomic import AppendStream
+
 FORMAT_VERSION = 1
 
 
@@ -61,7 +63,10 @@ class RunJournal:
         #: Lines dropped on open because of a torn/corrupt tail.
         self.recovered_tail = recovered
         self._records: dict[tuple[str, int], Any] = records
-        self._fh = open(path, "a", encoding="utf-8")
+        # AppendStream appends each record with a single O_APPEND write(2)
+        # and rolls back partial lines on ENOSPC, so a full disk can stop
+        # the journal at a record boundary but never tear it.
+        self._stream = AppendStream(path)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -80,14 +85,26 @@ class RunJournal:
 
     @classmethod
     def open(cls, path: str | Path) -> "RunJournal":
-        """Reopen an existing journal, recovering a torn tail if present."""
+        """Reopen an existing journal, recovering a torn tail if present.
+
+        Recovery is physical, not just logical: the torn bytes are
+        truncated away before the journal is reopened for appending, so
+        a new record can never concatenate onto a partial line (which
+        would silently invalidate it on the *next* open).
+        """
         path = Path(path)
-        lines = path.read_text(encoding="utf-8").splitlines()
+        raw = path.read_bytes()
+        lines = raw.split(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()
         header: Optional[dict] = None
         records: dict[tuple[str, int], Any] = {}
         good = 0
+        valid_bytes = 0
+        offset = 0
         for line in lines:
-            rec = cls._decode(line)
+            line_end = offset + len(line) + 1  # +1 for the newline
+            rec = cls._decode(line.decode("utf-8", errors="replace"))
             if rec is None:
                 break  # torn/corrupt tail: trust nothing from here on
             if good == 0:
@@ -97,8 +114,15 @@ class RunJournal:
             else:
                 records[(rec["kind"], int(rec["task_id"]))] = rec["payload"]
             good += 1
+            valid_bytes = min(line_end, len(raw))
+            offset = line_end
         if header is None:
             raise JournalError(f"{path} has no readable header")
+        if valid_bytes < len(raw):
+            with open(path, "r+b") as fh:
+                fh.truncate(valid_bytes)
+                fh.flush()
+                os.fsync(fh.fileno())
         return cls(path, header, records, recovered=len(lines) - good)
 
     @classmethod
@@ -112,10 +136,17 @@ class RunJournal:
         if resume and path.exists():
             journal = cls.open(path)
             if journal.header != header:
+                stored = journal.header
                 journal.close()
+                keys = sorted(set(stored) | set(header))
+                diffs = ", ".join(
+                    f"{k}: journal={stored.get(k)!r} != run={header.get(k)!r}"
+                    for k in keys
+                    if stored.get(k) != header.get(k)
+                )
                 raise JournalError(
-                    f"cannot resume from {path}: journal header {journal.header!r} "
-                    f"does not match this run {header!r}"
+                    f"cannot resume from {path}: journal belongs to a different run "
+                    f"(mismatched header fields — {diffs})"
                 )
             return journal
         return cls.create(path, header)
@@ -143,13 +174,23 @@ class RunJournal:
         return rec
 
     def record(self, kind: str, task_id: int, payload: Any) -> None:
-        """Append one completed task; durable once this returns."""
+        """Append one completed task; durable once this returns.
+
+        A full disk (real or injected via ``disk_full:journal``) raises
+        :class:`~repro.runtime.atomic.DiskFullError` *before* any bytes
+        land, or rolls a partial line back — either way the journal stays
+        valid and the unit of work is simply not recorded, so a resumed
+        run re-executes it.
+        """
         from .. import telemetry  # lazy: telemetry's logger builds on runtime.atomic
+        from . import faults
 
         with telemetry.trace("journal.record", level="debug", kind=kind, task_id=int(task_id)):
-            self._fh.write(self._encode({"kind": kind, "task_id": int(task_id), "payload": payload}))
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
+            faults.maybe_disk_full("journal")
+            self._stream.write_line(
+                self._encode({"kind": kind, "task_id": int(task_id), "payload": payload})
+            )
+            self._stream.fsync()
         telemetry.get_registry().counter("journal.records").inc()
         self._records[(kind, int(task_id))] = payload
 
@@ -159,8 +200,8 @@ class RunJournal:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.close()
+        if not self._stream.closed:
+            self._stream.close()
 
     def remove(self) -> None:
         """Close and delete the journal file (call after a successful run)."""

@@ -14,15 +14,36 @@ Two layers:
 A hung worker is detected by ``task_timeout``: when no result arrives in
 time the pool is terminated (the only way to reclaim a wedged worker
 process) and every still-pending task is resubmitted to a fresh pool.
+The timeout can be set fleet-wide via the ``REPRO_TASK_TIMEOUT``
+environment variable, which fills in any policy constructed without an
+explicit value — chaos runs and CI use this to pair short injected hangs
+with a short watchdog.
+
+``supervised_map`` also accepts a ``stop`` callable (typically
+``Budget.stopper(...)`` from :mod:`repro.runtime.deadline`): it is
+polled while *waiting* for worker results, so a deadline or a delivered
+SIGTERM interrupts a campaign even when every worker is busy on a long
+task.  The raise propagates after completed results have been delivered
+(and therefore journaled), and the pool is terminated on the way out —
+workers killed mid-task are reaped, and their unjournaled tasks are
+exactly the ones a ``--resume`` re-executes.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import random
 import time
 import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
+
+#: Fleet-wide default for ``RetryPolicy.task_timeout`` (seconds, float).
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+
+#: How often the ``stop`` callable is polled while waiting on workers.
+STOP_POLL_INTERVAL = 0.1
 
 
 @dataclass(frozen=True)
@@ -31,16 +52,24 @@ class RetryPolicy:
 
     ``max_retries`` counts *re*-submissions (0 = single attempt).
     Backoff before retry round ``r`` (1-based) is
-    ``min(backoff_max, backoff_base * backoff_factor**(r-1))`` — no
-    jitter, so test runs stay deterministic.  ``task_timeout`` is the
-    per-result wait in seconds; ``None`` waits forever (no hang
-    detection).
+    ``min(backoff_max, backoff_base * backoff_factor**(r-1))``, scaled
+    by a deterministic jitter factor drawn uniformly from
+    ``[1-jitter, 1+jitter]`` when ``jitter`` > 0.  The draw is seeded by
+    ``(jitter_seed, r)``, so two policies with the same seed produce the
+    same backoff sequence — serving-layer retries get decorrelated
+    sleeps without breaking byte-identical test replays.
+
+    ``task_timeout`` is the per-result wait in seconds; ``None`` falls
+    back to the ``REPRO_TASK_TIMEOUT`` environment variable, and failing
+    that waits forever (no hang detection).
     """
 
     max_retries: int = 2
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
     backoff_max: float = 2.0
+    jitter: float = 0.0
+    jitter_seed: int = 0
     task_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
@@ -48,12 +77,31 @@ class RetryPolicy:
             raise ValueError("max_retries must be >= 0")
         if self.backoff_base < 0 or self.backoff_max < 0:
             raise ValueError("backoff bounds must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.task_timeout is None:
+            env = os.environ.get(TASK_TIMEOUT_ENV)
+            if env:
+                try:
+                    timeout = float(env)
+                except ValueError:
+                    raise ValueError(
+                        f"bad {TASK_TIMEOUT_ENV} value {env!r}; expected seconds as a float"
+                    ) from None
+                # frozen dataclass: the env fallback is part of construction.
+                object.__setattr__(self, "task_timeout", timeout)
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ValueError("task_timeout must be positive or None")
 
     def backoff(self, attempt: int) -> float:
-        """Sleep before retry round ``attempt`` (1-based)."""
-        return min(self.backoff_max, self.backoff_base * self.backoff_factor ** (attempt - 1))
+        """Sleep before retry round ``attempt`` (1-based), jitter applied."""
+        base = min(self.backoff_max, self.backoff_base * self.backoff_factor ** (attempt - 1))
+        if self.jitter == 0.0:
+            return base
+        # Seeded per (policy seed, attempt): deterministic, replayable,
+        # but decorrelated across retriers with different seeds.
+        rng = random.Random(self.jitter_seed * 1_000_003 + attempt)
+        return base * (1.0 - self.jitter + 2.0 * self.jitter * rng.random())
 
 
 def retry_call(
@@ -74,6 +122,34 @@ def retry_call(
             time.sleep(policy.backoff(attempt + 1))
 
 
+def _next_result(stream, timeout: Optional[float], stop: Optional[Callable[[], None]]):
+    """One result from ``stream``, honouring the hang watchdog and ``stop``.
+
+    Without ``stop`` this is the plain single wait.  With it, the wait is
+    sliced into :data:`STOP_POLL_INTERVAL` chunks with ``stop()`` polled
+    between slices, while a wall-clock deadline preserves the watchdog
+    semantics (``mp.TimeoutError`` after ``timeout`` seconds total).
+    """
+    if stop is None:
+        if timeout is None:
+            return next(stream)
+        return stream.next(timeout)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        stop()
+        wait = STOP_POLL_INTERVAL
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise mp.TimeoutError(f"no result within {timeout}s")
+            wait = min(wait, remaining)
+        try:
+            return stream.next(wait)
+        except mp.TimeoutError:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise
+
+
 def supervised_map(
     pool_factory: Callable[[], Any],
     guarded: Callable[[int], tuple[int, bool, Any]],
@@ -82,6 +158,7 @@ def supervised_map(
     serial_fn: Optional[Callable[[int], Any]] = None,
     on_result: Optional[Callable[[int, Any], None]] = None,
     context: str = "parallel execution",
+    stop: Optional[Callable[[], None]] = None,
 ) -> list:
     """Fault-tolerant ``pool.map`` over task indices ``0..n_tasks-1``.
 
@@ -91,6 +168,14 @@ def supervised_map(
     task, as results arrive (unordered); journal writers hook in here so
     completed work is durable the moment it exists.  ``serial_fn`` is the
     in-parent last resort for tasks whose retries are exhausted.
+
+    ``stop`` (optional) is polled while waiting for results; it should
+    raise to interrupt the map (see
+    :meth:`repro.runtime.deadline.Budget.stopper`).  On any raise — from
+    ``stop``, ``on_result``, or a delivered signal — the pool is
+    terminated and joined before the exception propagates, so worker
+    processes killed mid-task are always reaped and every *delivered*
+    result has already been handed to ``on_result``.
 
     Returns results ordered by task index.
 
@@ -137,6 +222,8 @@ def supervised_map(
         for attempt in range(policy.max_retries + 1):
             if not pending:
                 break
+            if stop is not None:
+                stop()
             if attempt:
                 time.sleep(policy.backoff(attempt))
             if pool is None:
@@ -146,10 +233,7 @@ def supervised_map(
             timed_out = False
             for _ in submit:
                 try:
-                    if policy.task_timeout is None:
-                        index, ok, value = next(stream)
-                    else:
-                        index, ok, value = stream.next(policy.task_timeout)
+                    index, ok, value = _next_result(stream, policy.task_timeout, stop)
                 except mp.TimeoutError:
                     timed_out = True
                     break
@@ -194,6 +278,8 @@ def supervised_map(
             stacklevel=2,
         )
         for index in sorted(pending):
+            if stop is not None:
+                stop()
             registry.counter("retry.serial_fallbacks").inc()
             telemetry.emit(
                 "serial_fallback",

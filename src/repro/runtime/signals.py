@@ -1,0 +1,121 @@
+"""Graceful-shutdown signal handling for long-running campaigns.
+
+A PagPassGPT-scale campaign runs for hours to days; the process *will*
+receive SIGTERM (scheduler preemption, ``timeout(1)``, container stop)
+or SIGINT (an operator's Ctrl-C).  Dying mid-batch is safe — the journal
+makes resume byte-identical — but it wastes the batch in flight and
+leaves no record of why the run ended.  This module converts the first
+signal into a *cooperative* stop request that the execution loops notice
+at their next :meth:`~repro.runtime.deadline.Budget.poll`, so the run
+flushes its journal/snapshot, emits a ``campaign_interrupted`` telemetry
+event, and exits with a distinct code.
+
+Semantics are one-shot: the **first** SIGTERM/SIGINT requests a graceful
+stop; a **second** signal restores the default disposition and re-raises
+itself, killing the process immediately (the operator's escape hatch
+when a stop takes too long).
+
+The state is process-global on purpose: a stop request must be visible
+from every layer (CLI, generator loops, the pool supervisor) without
+threading a flag through each call.  Worker processes never install
+these handlers — the parent owns the shutdown and reaps them via
+``Pool.terminate``; pool initializers ignore SIGINT so a terminal's
+Ctrl-C (delivered to the whole foreground process group) cannot kill
+workers before the parent has journaled their delivered results.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: Signals converted into a graceful stop request.
+GRACEFUL_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+_state: dict = {"signum": None, "count": 0}
+
+
+def requested() -> Optional[int]:
+    """The signal number of a pending graceful-stop request, or ``None``."""
+    return _state["signum"]
+
+
+def reset() -> None:
+    """Clear any pending stop request (test isolation / nested runs)."""
+    _state["signum"] = None
+    _state["count"] = 0
+
+
+def request(signum: int = signal.SIGTERM) -> None:
+    """Record a stop request directly (what the handler does on delivery)."""
+    _state["signum"] = int(signum)
+    _state["count"] += 1
+
+
+@contextmanager
+def graceful_shutdown(signals=GRACEFUL_SIGNALS) -> Iterator[None]:
+    """Install one-shot graceful handlers for the duration of a block.
+
+    Inside the block, the first listed signal sets the process-global
+    stop request (visible via :func:`requested` and acted on by
+    :meth:`~repro.runtime.deadline.Budget.poll`); a second delivery of
+    the same signal restores that signal's previous disposition and
+    re-raises it, so a stuck run can still be killed the ordinary way.
+    Previous handlers are restored — and the pending request cleared —
+    on exit.  Outside the main thread (where ``signal.signal`` is
+    unavailable) the block runs with no handlers installed.
+    """
+    previous: dict[int, object] = {}
+
+    def handler(signum: int, frame) -> None:
+        request(signum)
+        if _state["count"] >= 2:
+            # Second signal: stop being graceful.  Restore the previous
+            # disposition and redeliver so the default action (or the
+            # outer handler) terminates the process.
+            try:
+                signal.signal(signum, previous.get(signum, signal.SIG_DFL))
+            except (ValueError, OSError):  # pragma: no cover - defensive
+                pass
+            os.kill(os.getpid(), signum)
+
+    try:
+        for signum in signals:
+            previous[signum] = signal.signal(signum, handler)
+    except ValueError:
+        # Not the main thread: signal handling is unavailable; run the
+        # block without graceful conversion rather than failing.
+        previous = {}
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            try:
+                signal.signal(signum, old)
+            except (ValueError, OSError):  # pragma: no cover - defensive
+                pass
+        reset()
+
+
+def ignore_in_worker() -> None:
+    """Pool-worker initializer hook: let the parent own Ctrl-C.
+
+    SIGINT goes to the whole foreground process group, so without this a
+    Ctrl-C would kill workers mid-task at the same instant the parent is
+    trying to stop gracefully and journal their delivered results.
+    SIGTERM is explicitly reset to the *default* disposition: a worker
+    forked while :func:`graceful_shutdown` is active inherits the
+    parent's graceful handler, which would swallow the SIGTERM that
+    ``Pool.terminate`` (the parent's reaping path, also used by the
+    hung-pool watchdog) relies on — the parent would then join a worker
+    that never dies.  Any stop request inherited over fork is cleared
+    too: the parent owns the shutdown decision, not the worker's copy.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except ValueError:  # pragma: no cover - non-main thread
+        pass
+    reset()

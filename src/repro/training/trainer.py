@@ -32,7 +32,14 @@ from .. import telemetry
 from ..autograd import no_grad
 from ..nn import AdamW, GPT2Model, WarmupLinear, clip_grad_norm
 from ..nn.serialization import CheckpointError, _load_npz
-from ..runtime import RunJournal, atomic_write, file_digest, maybe_corrupt, maybe_fail
+from ..runtime import (
+    Budget,
+    RunJournal,
+    atomic_write,
+    file_digest,
+    maybe_corrupt,
+    maybe_fail,
+)
 from .dataloader import BatchLoader
 
 _META_KEY = "__meta_json__"
@@ -233,6 +240,7 @@ class Trainer:
         checkpoint_path: Optional[Union[str, Path]] = None,
         resume_from: Optional[Union[str, Path]] = None,
         journal: Optional[RunJournal] = None,
+        budget: Optional[Budget] = None,
     ) -> TrainHistory:
         """Run the full training loop; returns loss history.
 
@@ -244,6 +252,13 @@ class Trainer:
         (``history.restored_best``).  ``journal`` (an open
         :class:`~repro.runtime.journal.RunJournal`) records one entry per
         completed epoch with the checkpoint's content digest.
+
+        ``budget`` (a :class:`~repro.runtime.Budget`) is polled at every
+        epoch boundary, *after* the epoch's training state and journal
+        record are durable: a tripped deadline or delivered SIGTERM
+        raises :class:`~repro.runtime.CampaignInterrupted`, and a rerun
+        with ``resume_from`` continues from the next epoch
+        bit-identically.
         """
         cfg = self.config
         params = self.model.parameters()
@@ -346,6 +361,13 @@ class Trainer:
                                 ),
                             },
                         )
+                if budget is not None:
+                    # The epoch just became durable (state + journal
+                    # record written): a trip here loses nothing.
+                    budget.poll(
+                        epochs=epoch + 1,
+                        steps=int(registry.counter("train.steps").value),
+                    )
                 if stop:
                     history.stopped_early = True
                     self._log(f"early stop at epoch {epoch}")

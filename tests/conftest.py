@@ -13,7 +13,7 @@ from repro import telemetry
 from repro.datasets import build_corpus, clean_leak, generate_leak, split_dataset
 from repro.models import PagPassGPT, PassGPT
 from repro.nn import GPT2Config
-from repro.runtime import faults
+from repro.runtime import faults, signals
 from repro.training import TrainConfig
 
 
@@ -22,9 +22,18 @@ def _clean_faults(monkeypatch):
     """No fault directive leaks between tests; counters start fresh."""
     monkeypatch.delenv(faults.FAULT_ENV, raising=False)
     monkeypatch.delenv(faults.FAULT_STATE_ENV, raising=False)
+    monkeypatch.delenv(faults.HANG_SECONDS_ENV, raising=False)
     faults.reset()
     yield
     faults.reset()
+
+
+@pytest.fixture(autouse=True)
+def _clean_signals():
+    """No graceful-stop request leaks between tests."""
+    signals.reset()
+    yield
+    signals.reset()
 
 
 @pytest.fixture(autouse=True)

@@ -1,9 +1,17 @@
 """End-to-end CLI tests (in-process via ``repro.cli.main``)."""
 
+import json
+
 import pytest
 
-from repro.cli import main
-from repro.runtime import FAULT_ENV, InjectedFault, corrupt_file
+from repro.cli import (
+    EXIT_CORRUPT,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_SIGNAL,
+    main,
+)
+from repro.runtime import FAULT_ENV, InjectedFault, RunJournal, corrupt_file
 
 
 @pytest.fixture(scope="module")
@@ -236,6 +244,146 @@ class TestFaultTolerance:
         assert main(["generate", "--checkpoint", str(bad),
                      "-n", "10", "--out", str(tmp_path / "x.txt")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestLifecycle:
+    """Deadlines, quotas, and signals: documented exit codes + clean resume."""
+
+    def _checkpoint(self, pipeline):
+        ckpt = pipeline / "model.npz"
+        if not ckpt.exists():
+            assert main([
+                "train", "--input", str(pipeline / "data.train.txt"),
+                "--out", str(ckpt),
+                "--dim", "32", "--layers", "1", "--heads", "2",
+                "--epochs", "1", "--batch-size", "128",
+            ]) == EXIT_OK
+        return ckpt
+
+    def test_exit_code_constants_are_distinct(self):
+        codes = [EXIT_OK, 1, EXIT_CORRUPT, EXIT_INTERRUPTED, EXIT_SIGNAL]
+        assert codes == [0, 1, 2, 3, 4]
+
+    def test_max_guesses_exits_3_then_resume_matches(self, pipeline, tmp_path, capsys):
+        ckpt = self._checkpoint(pipeline)
+        clean = tmp_path / "clean.txt"
+        common = ["generate", "--checkpoint", str(ckpt),
+                  "-n", "1200", "--dcgen", "--threshold", "32", "--seed", "6"]
+        assert main(common + ["--out", str(clean)]) == EXIT_OK
+
+        out = tmp_path / "capped.txt"
+        journal = tmp_path / "capped.journal.jsonl"
+        assert main(common + ["--out", str(out), "--journal", str(journal),
+                              "--max-guesses", "200"]) == EXIT_INTERRUPTED
+        err = capsys.readouterr().err
+        assert "stopped" in err and "--resume" in err
+        assert journal.exists()  # progress is durable
+        assert not out.exists()  # output only lands on success
+
+        assert main(common + ["--out", str(out), "--journal", str(journal),
+                              "--resume"]) == EXIT_OK
+        assert out.read_text() == clean.read_text()
+        assert not journal.exists()
+
+    def test_immediate_deadline_exits_3(self, pipeline, tmp_path):
+        ckpt = self._checkpoint(pipeline)
+        out = tmp_path / "deadline.txt"
+        assert main(["generate", "--checkpoint", str(ckpt),
+                     "-n", "400", "--dcgen", "--threshold", "32",
+                     "--deadline", "1e-9",
+                     "--out", str(out)]) == EXIT_INTERRUPTED
+        assert not out.exists()
+
+    def test_signal_fault_exits_4_and_leaves_valid_journal(
+        self, pipeline, tmp_path, monkeypatch
+    ):
+        ckpt = self._checkpoint(pipeline)
+        clean = tmp_path / "clean.txt"
+        common = ["generate", "--checkpoint", str(ckpt),
+                  "-n", "1200", "--dcgen", "--threshold", "32", "--seed", "8"]
+        assert main(common + ["--out", str(clean)]) == EXIT_OK
+
+        out = tmp_path / "sig.txt"
+        journal = tmp_path / "sig.journal.jsonl"
+        monkeypatch.setenv(FAULT_ENV, "signal:leaf_batch:1")
+        assert main(common + ["--out", str(out), "--journal", str(journal)]) \
+            == EXIT_SIGNAL
+        monkeypatch.delenv(FAULT_ENV)
+
+        # The journal the SIGTERM'd campaign left is structurally valid...
+        assert main(["verify", str(journal)]) == EXIT_OK
+        recovered = RunJournal.open(journal)
+        assert recovered.completed("leaf_batch")  # durable progress exists
+        recovered.close()
+
+        # ...and resume continues byte-identically.
+        assert main(common + ["--out", str(out), "--journal", str(journal),
+                              "--resume"]) == EXIT_OK
+        assert out.read_text() == clean.read_text()
+
+    def test_train_deadline_exits_3_and_resumes(self, pipeline, tmp_path):
+        common = ["train", "--input", str(pipeline / "data.train.txt"),
+                  "--dim", "32", "--layers", "1", "--heads", "2",
+                  "--epochs", "2", "--batch-size", "128", "--seed", "4"]
+        ckpt = tmp_path / "capped.npz"
+        state = tmp_path / "capped.npz.train-state.npz"
+        assert main(common + ["--out", str(ckpt),
+                              "--deadline", "1e-9"]) == EXIT_INTERRUPTED
+        assert state.exists()  # epoch 1 is durable
+        assert not ckpt.exists()
+        assert main(common + ["--out", str(ckpt), "--resume"]) == EXIT_OK
+        assert ckpt.exists()
+        assert not state.exists()
+
+
+class TestVerifyCommand:
+    def test_clean_journal_exits_0(self, tmp_path):
+        journal = tmp_path / "run.journal.jsonl"
+        j = RunJournal.create(journal, {"kind": "t", "seed": 1})
+        j.record("leaf_batch", 0, {"guesses": ["a"]})
+        j.close()
+        assert main(["verify", str(journal)]) == EXIT_OK
+
+    def test_torn_journal_exits_2_then_repair_recovers(self, tmp_path, capsys):
+        journal = tmp_path / "run.journal.jsonl"
+        j = RunJournal.create(journal, {"kind": "t", "seed": 1})
+        j.record("leaf_batch", 0, {"guesses": ["a"]})
+        j.close()
+        with open(journal, "a", encoding="utf-8") as fh:
+            fh.write('{"torn')
+        assert main(["verify", str(journal)]) == EXIT_CORRUPT
+        assert "torn_tail" in capsys.readouterr().out
+        assert main(["verify", str(journal), "--repair"]) == EXIT_OK
+        assert "repaired" in capsys.readouterr().out
+        assert main(["verify", str(journal)]) == EXIT_OK  # now clean
+
+    def test_corrupt_checkpoint_is_flagged_never_accepted(self, tmp_path, capsys):
+        bad = tmp_path / "model.npz"
+        bad.write_bytes(b"PK\x03\x04 not a model")
+        assert main(["verify", str(bad)]) == EXIT_CORRUPT
+        assert "unreadable_checkpoint" in capsys.readouterr().out
+        # --repair cannot fix a checkpoint; it stays an error.
+        assert main(["verify", str(bad), "--repair"]) == EXIT_CORRUPT
+
+    def test_json_findings_are_machine_readable(self, tmp_path, capsys):
+        missing = tmp_path / "gone.journal.jsonl"
+        assert main(["verify", str(missing), "--json"]) == EXIT_CORRUPT
+        findings = json.loads(capsys.readouterr().out)
+        assert findings[0]["kind"] == "missing_file"
+        assert findings[0]["severity"] == "error"
+
+    def test_generate_manifest_roundtrip(self, pipeline, tmp_path):
+        ckpt = pipeline / "model.npz"
+        if not ckpt.exists():
+            pytest.skip("train fixture not built")
+        out = tmp_path / "guesses.txt"
+        assert main(["generate", "--checkpoint", str(ckpt), "-n", "50",
+                     "--out", str(out), "--manifest"]) == EXIT_OK
+        manifest = tmp_path / "guesses.txt.manifest.json"
+        assert manifest.exists()
+        assert main(["verify", str(manifest)]) == EXIT_OK
+        out.write_text("tampered\n")
+        assert main(["verify", str(manifest)]) == EXIT_CORRUPT
 
 
 class TestTelemetrySummarize:

@@ -322,7 +322,7 @@ class TestJournalResume:
 
         from repro.runtime import JournalError
 
-        with pytest.raises(JournalError, match="does not match"):
+        with pytest.raises(JournalError, match="belongs to a different run"):
             gen.generate(self.TOTAL, seed=8, journal=journal_path, resume=True)
 
     def test_free_generation_crash_then_resume(self, model, tmp_path, monkeypatch):

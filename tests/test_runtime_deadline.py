@@ -1,0 +1,149 @@
+"""Cooperative budgets: limits, polling, signal integration, telemetry."""
+
+import json
+import signal as _signal
+
+import pytest
+
+from repro import telemetry
+from repro.runtime import Budget, CampaignInterrupted, signals
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"wall_seconds": 0},
+            {"wall_seconds": -1.0},
+            {"max_guesses": 0},
+            {"max_guesses": -5},
+            {"max_model_calls": 0},
+        ],
+    )
+    def test_non_positive_limits_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Budget(**kwargs)
+
+    def test_limitless_budget_is_fine(self):
+        assert Budget().exceeded() is None
+
+
+class TestLimits:
+    def test_deadline_trips_on_injected_clock(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=10.0, clock=clock)
+        assert budget.exceeded() is None
+        clock.t = 9.999
+        assert budget.exceeded() is None
+        clock.t = 10.0
+        assert budget.exceeded() == "deadline"
+        assert budget.elapsed() == pytest.approx(10.0)
+
+    def test_deadline_classmethod(self):
+        budget = Budget.deadline(5.0)
+        assert budget.wall_seconds == 5.0
+        assert budget.max_guesses is None
+
+    def test_guess_quota_needs_reported_counter(self):
+        budget = Budget(max_guesses=100)
+        assert budget.exceeded() is None  # nothing reported, nothing tripped
+        assert budget.exceeded(guesses=99) is None
+        assert budget.exceeded(guesses=100) == "guesses"
+
+    def test_model_call_quota(self):
+        budget = Budget(max_model_calls=3)
+        assert budget.exceeded(model_calls=2) is None
+        assert budget.exceeded(model_calls=3) == "model_calls"
+
+    def test_signal_outranks_every_limit(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=1.0, max_guesses=1, clock=clock)
+        clock.t = 99.0
+        signals.request(_signal.SIGTERM)
+        assert budget.exceeded(guesses=10**9) == "signal"
+
+
+class TestPoll:
+    def test_within_budget_is_noop(self):
+        Budget(max_guesses=10).poll(guesses=3)
+
+    def test_trip_raises_with_reason_and_progress(self):
+        budget = Budget(max_guesses=5)
+        with pytest.raises(CampaignInterrupted) as info:
+            budget.poll(guesses=7, tasks=2)
+        assert info.value.reason == "guesses"
+        assert info.value.progress == {"guesses": 7, "tasks": 2}
+        assert "guesses=7" in str(info.value)
+
+    def test_interrupt_is_base_exception(self):
+        # Must cut through ``except Exception`` rescue paths.
+        assert not issubclass(CampaignInterrupted, Exception)
+
+    def test_trip_emits_telemetry_event(self, tmp_path):
+        telemetry.start_session(tmp_path, run_id="deadline-test")
+        try:
+            with pytest.raises(CampaignInterrupted):
+                Budget(max_guesses=1).poll(guesses=4)
+        finally:
+            telemetry.end_session(emit_snapshot=False)
+        events = []
+        for stream in tmp_path.glob("*.jsonl"):
+            for line in stream.read_text().splitlines():
+                rec = json.loads(line)
+                if rec.get("event") == "campaign_interrupted":
+                    events.append(rec)
+        assert len(events) == 1
+        assert events[0]["fields"]["reason"] == "guesses"
+        assert events[0]["fields"]["guesses"] == 4
+
+    def test_stopper_closure_polls_current_progress(self):
+        budget = Budget(max_guesses=10)
+        progress = {"guesses": 0}
+        stop = budget.stopper(lambda: dict(progress))
+        stop()  # within budget
+        progress["guesses"] = 10
+        with pytest.raises(CampaignInterrupted) as info:
+            stop()
+        assert info.value.progress["guesses"] == 10
+
+
+class TestSignals:
+    def test_request_and_reset(self):
+        assert signals.requested() is None
+        signals.request(_signal.SIGINT)
+        assert signals.requested() == int(_signal.SIGINT)
+        signals.reset()
+        assert signals.requested() is None
+
+    def test_graceful_shutdown_converts_first_signal(self):
+        import os
+
+        with signals.graceful_shutdown():
+            os.kill(os.getpid(), _signal.SIGTERM)
+            assert signals.requested() == int(_signal.SIGTERM)
+            with pytest.raises(CampaignInterrupted) as info:
+                Budget().poll(guesses=1)
+            assert info.value.reason == "signal"
+        # Handler restored and request cleared on exit.
+        assert signals.requested() is None
+
+    def test_worker_initializer_makes_sigterm_lethal_again(self):
+        """A pool worker forks while graceful_shutdown's handler is
+        installed; the initializer must restore SIGTERM's default
+        disposition or ``Pool.terminate`` joins a worker that swallows
+        its kill signal — and must drop any stop request the fork
+        inherited, since the parent owns the shutdown decision."""
+        with signals.graceful_shutdown():
+            signals.request(_signal.SIGTERM)  # pending stop at fork time
+            signals.ignore_in_worker()
+            assert _signal.getsignal(_signal.SIGTERM) is _signal.SIG_DFL
+            assert _signal.getsignal(_signal.SIGINT) is _signal.SIG_IGN
+            assert signals.requested() is None

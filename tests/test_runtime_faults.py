@@ -1,14 +1,19 @@
 """Fault-injection hooks: directives, one-shot markers, call logging."""
 
+import signal as _signal
+
 import pytest
 
-from repro.runtime import faults
+from repro.runtime import DiskFullError, faults, signals
 from repro.runtime.faults import (
     FAULT_ENV,
     FAULT_STATE_ENV,
+    HANG_SECONDS_ENV,
     InjectedFault,
     corrupt_file,
+    hang_seconds,
     maybe_corrupt,
+    maybe_disk_full,
     maybe_fail,
 )
 
@@ -73,6 +78,80 @@ class TestOneShotState:
         maybe_fail("epoch")
         lines = (tmp_path / "calls.log").read_text().splitlines()
         assert lines == ["worker:0", "worker:3", "epoch:"]
+
+
+class TestDiskFull:
+    def test_disk_full_raises_enospc(self, monkeypatch):
+        import errno
+
+        monkeypatch.setenv(FAULT_ENV, "disk_full:journal")
+        with pytest.raises(DiskFullError) as info:
+            maybe_disk_full("journal")
+        assert info.value.errno == errno.ENOSPC
+        assert isinstance(info.value, OSError)  # real ENOSPC handling applies
+
+    def test_counter_fires_after_k_clean_calls(self, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "disk_full:journal:2")
+        maybe_disk_full("journal")
+        maybe_disk_full("journal")
+        with pytest.raises(DiskFullError):
+            maybe_disk_full("journal")
+
+    def test_one_shot_state(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "disk_full:journal")
+        monkeypatch.setenv(FAULT_STATE_ENV, str(tmp_path))
+        with pytest.raises(DiskFullError):
+            maybe_disk_full("journal")
+        maybe_disk_full("journal")  # retry of the write succeeds
+
+    def test_other_site_untouched(self, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "disk_full:atomic")
+        maybe_disk_full("journal")
+
+
+class TestSignalAction:
+    def test_signal_delivers_sigterm_without_raising(self, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "signal:leaf_batch")
+        with signals.graceful_shutdown():
+            maybe_fail("leaf_batch")  # returns normally; the record still lands
+            assert signals.requested() == int(_signal.SIGTERM)
+
+    def test_signal_is_one_shot_with_state_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "signal:leaf_batch")
+        monkeypatch.setenv(FAULT_STATE_ENV, str(tmp_path))
+        with signals.graceful_shutdown():
+            maybe_fail("leaf_batch")
+            assert signals.requested() is not None
+            signals.reset()
+            maybe_fail("leaf_batch")  # already tripped: no second delivery
+            assert signals.requested() is None
+
+
+class TestHangSeconds:
+    def test_default(self):
+        assert hang_seconds() == faults.HANG_SECONDS
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(HANG_SECONDS_ENV, "0.25")
+        assert hang_seconds() == 0.25
+
+    def test_negative_clamps_to_zero(self, monkeypatch):
+        monkeypatch.setenv(HANG_SECONDS_ENV, "-3")
+        assert hang_seconds() == 0.0
+
+    def test_bad_value_raises(self, monkeypatch):
+        monkeypatch.setenv(HANG_SECONDS_ENV, "soon")
+        with pytest.raises(ValueError, match=HANG_SECONDS_ENV):
+            hang_seconds()
+
+    def test_hang_directive_sleeps_the_override(self, monkeypatch):
+        import time
+
+        monkeypatch.setenv(FAULT_ENV, "hang:worker")
+        monkeypatch.setenv(HANG_SECONDS_ENV, "0.05")
+        start = time.monotonic()
+        maybe_fail("worker", 0)
+        assert time.monotonic() - start >= 0.05
 
 
 class TestCorrupt:

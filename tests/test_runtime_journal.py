@@ -73,6 +73,31 @@ class TestTornTail:
         assert journal.recovered_tail == 2
         journal.close()
 
+    def test_multi_record_tear_drops_everything_after_first_bad_line(self, tmp_path):
+        """Several corrupted trailing lines: recovery keeps only the
+        prefix before the first bad record, even when later lines are
+        individually valid."""
+        path = make_journal(tmp_path / "run.jsonl", n_records=6)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][:-8]  # tear record 1 (line 3)
+        lines[4] = "not json at all"  # and record 3
+        path.write_text("\n".join(lines) + "\n")
+        journal = RunJournal.open(path)
+        assert set(journal.completed("leaf_batch")) == {0}
+        assert journal.recovered_tail == 5
+        journal.close()
+
+    def test_recovered_journal_accepts_new_records(self, tmp_path):
+        path = make_journal(tmp_path / "run.jsonl", n_records=3)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"torn')
+        journal = RunJournal.open(path)
+        journal.record("leaf_batch", 9, {"guesses": ["new"], "model_calls": 0})
+        journal.close()
+        reopened = RunJournal.open(path)
+        assert set(reopened.completed("leaf_batch")) == {0, 1, 2, 9}
+        reopened.close()
+
     def test_missing_header_raises(self, tmp_path):
         path = tmp_path / "run.jsonl"
         path.write_text('{"not": "a header"}\n')
@@ -96,8 +121,20 @@ class TestAttach:
     def test_resume_header_mismatch_raises(self, tmp_path):
         path = make_journal(tmp_path / "run.jsonl")
         other = dict(HEADER, seed=8)
-        with pytest.raises(JournalError, match="does not match"):
+        with pytest.raises(JournalError, match="belongs to a different run"):
             RunJournal.attach(path, other, resume=True)
+
+    def test_header_mismatch_message_names_the_fields(self, tmp_path):
+        """The error pinpoints which identity fields differ and how."""
+        path = make_journal(tmp_path / "run.jsonl")
+        other = dict(HEADER, seed=8, plan="zzz999")
+        with pytest.raises(JournalError) as info:
+            RunJournal.attach(path, other, resume=True)
+        message = str(info.value)
+        assert "mismatched header fields" in message
+        assert "seed: journal=7 != run=8" in message
+        assert "plan: journal='abc123' != run='zzz999'" in message
+        assert "total" not in message  # matching fields are not listed
 
     def test_resume_without_file_starts_fresh(self, tmp_path):
         journal = RunJournal.attach(tmp_path / "new.jsonl", HEADER, resume=True)

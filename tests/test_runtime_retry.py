@@ -24,11 +24,49 @@ class TestRetryPolicy:
             {"backoff_base": -0.1},
             {"task_timeout": 0},
             {"task_timeout": -1.0},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
         ],
     )
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
             RetryPolicy(**kwargs)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = RetryPolicy(backoff_base=0.1, jitter=0.5, jitter_seed=7)
+        b = RetryPolicy(backoff_base=0.1, jitter=0.5, jitter_seed=7)
+        c = RetryPolicy(backoff_base=0.1, jitter=0.5, jitter_seed=8)
+        seq_a = [a.backoff(r) for r in range(1, 6)]
+        assert seq_a == [b.backoff(r) for r in range(1, 6)]  # replayable
+        assert seq_a != [c.backoff(r) for r in range(1, 6)]  # decorrelated
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=1.0, jitter=0.3
+        )
+        plain = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, backoff_max=1.0)
+        for r in range(1, 20):
+            base = plain.backoff(r)
+            assert base * 0.7 <= policy.backoff(r) <= base * 1.3
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.0)
+        assert policy.backoff(1) == pytest.approx(0.1)
+
+    def test_task_timeout_env_fallback(self, monkeypatch):
+        from repro.runtime.retry import TASK_TIMEOUT_ENV
+
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "1.5")
+        assert RetryPolicy().task_timeout == 1.5
+        # An explicit value always wins over the environment.
+        assert RetryPolicy(task_timeout=9.0).task_timeout == 9.0
+
+    def test_task_timeout_env_bad_value(self, monkeypatch):
+        from repro.runtime.retry import TASK_TIMEOUT_ENV
+
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "eventually")
+        with pytest.raises(ValueError, match=TASK_TIMEOUT_ENV):
+            RetryPolicy()
 
 
 class TestRetryCall:
@@ -181,3 +219,98 @@ class TestSupervisedMap:
             raise AssertionError("no pool should be built for zero tasks")
 
         assert supervised_map(factory, lambda i: (i, True, i), 0, policy=FAST) == []
+
+
+class TestStopCallable:
+    def test_stop_raise_interrupts_and_terminates_pool(self):
+        from repro.runtime import CampaignInterrupted
+
+        pools = []
+        delivered = []
+
+        def factory():
+            pools.append(FakePool(None))
+            return pools[-1]
+
+        def stop():
+            # Trip once two results have been journaled mid-wait.
+            if len(delivered) >= 2:
+                raise CampaignInterrupted("deadline", {"guesses": len(delivered)})
+
+        with pytest.raises(CampaignInterrupted):
+            supervised_map(
+                factory,
+                lambda i: (i, True, i),
+                4,
+                policy=FAST,
+                on_result=lambda i, v: delivered.append(i),
+                stop=stop,
+            )
+        # Delivered results were handed over before the raise; the pool
+        # was reaped on the way out (workers killed mid-task accounted).
+        assert len(delivered) >= 2
+        assert pools[0].terminated
+
+    def test_stop_checked_before_serial_fallback(self):
+        from repro.runtime import CampaignInterrupted
+
+        calls = []
+
+        def stop():
+            if calls:
+                raise CampaignInterrupted("deadline", {})
+
+        def serial(i):
+            calls.append(i)
+            return i
+
+        guarded = lambda i: (i, False, "always broken")  # noqa: E731
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            with pytest.raises(CampaignInterrupted):
+                supervised_map(
+                    lambda: FakePool(None), guarded, 3,
+                    policy=FAST, serial_fn=serial, stop=stop,
+                )
+        assert calls == [0]  # interrupted between serial tasks
+
+    def test_benign_stop_does_not_change_results(self):
+        polls = []
+        out = supervised_map(
+            lambda: FakePool(None),
+            lambda i: (i, True, i * 10),
+            3,
+            policy=FAST,
+            stop=lambda: polls.append(1),
+        )
+        assert out == [0, 10, 20]
+        assert polls  # the stop callable was actually consulted
+
+    def test_hang_watchdog_still_fires_with_stop(self):
+        """The sliced wait preserves task_timeout semantics: a worker
+        that stays wedged across every poll slice still trips the
+        watchdog and gets its pool rebuilt."""
+        pools = []
+
+        class _WedgedStream(_FakeStream):
+            def next(self, timeout=None):
+                if self._hang_at is not None and self._pos == self._hang_at:
+                    raise mp.TimeoutError  # wedged on every wait slice
+                return self.__next__()
+
+        class WedgedFirstPool(FakePool):
+            def imap_unordered(self, fn, indices):
+                results = [fn(i) for i in indices]
+                hang_at = 1 if len(pools) == 1 else None
+                return _WedgedStream(results, hang_at=hang_at)
+
+        def factory():
+            pools.append(WedgedFirstPool(None))
+            return pools[-1]
+
+        policy = RetryPolicy(max_retries=2, backoff_base=0.0, task_timeout=0.05)
+        out = supervised_map(
+            factory, lambda i: (i, True, i), 3, policy=policy, stop=lambda: None
+        )
+        assert out == [0, 1, 2]
+        assert len(pools) == 2
+        assert pools[0].terminated
