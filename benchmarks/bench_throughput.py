@@ -29,16 +29,26 @@ de-deduplicated) or if the FLOPs-proxy reduction falls below 2x.
 Wall-clock numbers are recorded but never gated — they are
 machine-dependent.
 
+``--backend compiled`` runs the same campaign on the fused C decode
+kernels (``repro.nn.backend``) and writes a ``latest_<scale>_compiled``
+entry beside the numpy one, recording the decode-phase speedup against
+the numpy entry already on disk.  Under ``--check`` the compiled run
+additionally gates on the backend actually being active (no silent
+fallback) and on a small free-generation stream matching the numpy
+reference byte-for-byte.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py [--scale tiny|standard]
-        [--out BENCH_throughput.json] [--telemetry DIR] [--check]
+        [--backend numpy|compiled] [--out BENCH_throughput.json]
+        [--telemetry DIR] [--check]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import tempfile
 import time
 from pathlib import Path
@@ -130,6 +140,7 @@ def bench_dcgen(scale: dict) -> dict:
 
     model = build_model()
     gen = DCGenerator(model, DCGenConfig(threshold=scale["threshold"]))
+    backend_active = model.inference.backend_name
     counters = model.inference.counters
 
     t0 = time.perf_counter()
@@ -160,6 +171,7 @@ def bench_dcgen(scale: dict) -> dict:
 
     deduped_primed = counters.prime_positions + prompt_positions
     return {
+        "backend_active": backend_active,
         "guesses": len(guesses),
         "plan_digest": plan_digest(leaves),
         "plan_seconds": round(plan_seconds, 4),
@@ -202,6 +214,37 @@ def bench_free(scale: dict) -> dict:
     }
 
 
+def check_compiled(dcgen: dict, scale: dict) -> list[str]:
+    """Compiled-backend gates: really active, and byte-identical output.
+
+    The stream probe regenerates a small free-generation stream under
+    each backend and compares them — a cheap, deterministic stand-in for
+    the full golden-stream suite that runs even where the fixture file
+    is not at hand.
+    """
+    failures = []
+    if dcgen["backend_active"] != "compiled":
+        failures.append(
+            "compiled backend requested but fell back to "
+            f"{dcgen['backend_active']} — see the backend_fallback event"
+        )
+        return failures  # stream probe would just compare numpy to numpy
+    n = min(256, scale["free_n"])
+    streams = {}
+    for name in ("numpy", "compiled"):
+        os.environ["REPRO_BACKEND"] = name
+        model = build_model()
+        streams[name] = model.generate(n, seed=SEED)
+    os.environ["REPRO_BACKEND"] = "compiled"
+    if streams["compiled"] != streams["numpy"]:
+        diverged = sum(a != b for a, b in zip(streams["numpy"], streams["compiled"]))
+        failures.append(
+            f"compiled backend stream diverges from numpy reference "
+            f"({diverged}/{n} guesses differ)"
+        )
+    return failures
+
+
 def run_checks(dcgen: dict) -> list[str]:
     """Deterministic regression gates (no wall-clock flakiness)."""
     failures = []
@@ -228,6 +271,10 @@ def run_checks(dcgen: dict) -> list[str]:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", choices=sorted(SCALES), default="standard")
+    parser.add_argument(
+        "--backend", choices=("numpy", "compiled"), default="numpy",
+        help="decode backend to benchmark (compiled writes latest_<scale>_compiled)",
+    )
     parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_throughput.json")
     parser.add_argument(
         "--telemetry", type=Path, default=None, metavar="DIR",
@@ -240,12 +287,13 @@ def main() -> int:
     )
     args = parser.parse_args()
     scale = SCALES[args.scale]
+    os.environ["REPRO_BACKEND"] = args.backend
 
     from repro import telemetry
 
     tele_dir = args.telemetry or Path(tempfile.mkdtemp(prefix="repro-bench-telemetry-"))
     np.seterr(all="ignore")
-    with telemetry.session(tele_dir, run_id=f"bench-{args.scale}"):
+    with telemetry.session(tele_dir, run_id=f"bench-{args.scale}-{args.backend}"):
         dcgen = bench_dcgen(scale)
         free = bench_free(scale)
     tele_summary = telemetry.summarize_campaign(tele_dir)
@@ -256,6 +304,7 @@ def main() -> int:
     }
     report = {
         "scale": args.scale,
+        "backend": {"requested": args.backend, "active": dcgen["backend_active"]},
         "config": {**scale, "model": MODEL_SPEC, "pattern_probs": PATTERN_PROBS, "seed": SEED},
         "dcgen": dcgen,
         "free": free,
@@ -272,11 +321,28 @@ def main() -> int:
         except (OSError, json.JSONDecodeError):
             existing = {}
     existing.setdefault("baseline_pre_fastpath", {})
-    existing[f"latest_{args.scale}"] = report
+    if args.backend == "compiled":
+        # Record the decode-phase speedup against the numpy entry for
+        # the same scale (the headline number for the compiled backend).
+        reference = existing.get(f"latest_{args.scale}")
+        if isinstance(reference, dict):
+            ref_decode = (
+                reference.get("dcgen", {}).get("span_phase_seconds", {}).get("decode")
+            )
+            own_decode = dcgen["span_phase_seconds"]["decode"]
+            if ref_decode and own_decode:
+                report["decode_speedup_vs_numpy"] = round(ref_decode / own_decode, 2)
+        existing[f"latest_{args.scale}_compiled"] = report
+    else:
+        existing[f"latest_{args.scale}"] = report
     args.out.write_text(json.dumps(existing, indent=1) + "\n")
 
-    print(f"D&C-GEN [{args.scale}]: {dcgen['guesses']} guesses in {dcgen['seconds']}s "
+    print(f"D&C-GEN [{args.scale}, backend={dcgen['backend_active']}]: "
+          f"{dcgen['guesses']} guesses in {dcgen['seconds']}s "
           f"({dcgen['guesses_per_sec']}/s); phases {dcgen['phase_seconds']}")
+    if "decode_speedup_vs_numpy" in report:
+        print(f"  decode-phase speedup vs numpy entry: "
+              f"{report['decode_speedup_vs_numpy']}x")
     print(f"  span-derived phases: {dcgen['span_phase_seconds']} "
           f"(trace: {tele_dir})")
     print(f"  model calls: divide={dcgen['model_calls']['divide']} "
@@ -287,6 +353,8 @@ def main() -> int:
     print(f"wrote {args.out}")
 
     failures = run_checks(dcgen)
+    if args.check and args.backend == "compiled":
+        failures += check_compiled(dcgen, scale)
     for failure in failures:
         print(f"CHECK FAILED: {failure}")
     return 1 if failures else 0

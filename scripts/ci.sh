@@ -23,6 +23,10 @@
 #    checkpoint is crashed at a journaled frontier snapshot, resumed,
 #    diffed byte-for-byte against the uninterrupted stream, and its
 #    telemetry must pass `summarize --check`.
+# 6. Compiled-backend smoke (ISSUE 8): reruns the 2-worker campaign with
+#    `--backend compiled` and demands the byte-identical stream, then
+#    gates the compiled tiny bench.  Soft-skipped (with a visible
+#    notice) when no C compiler is on PATH.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -117,6 +121,24 @@ python -m repro.cli "${ORD_ARGS[@]}" --out "$SMOKE_DIR/ordered_resumed.txt" \
     --journal "$SMOKE_DIR/ordered.jsonl" --resume
 diff "$SMOKE_DIR/ordered_clean.txt" "$SMOKE_DIR/ordered_resumed.txt"
 echo "ordered smoke: crashed+resumed best-first stream is byte-identical"
+
+# ----------------------------------------------------------------------
+# Compiled-backend smoke (ISSUE 8): the fused C decode kernels must emit
+# the byte-identical stream, and the compiled bench gates must hold
+# (backend really active, stream == numpy reference).  Soft-skip when
+# the container has no C compiler — the numpy fallback path is already
+# covered by the suite above.
+# ----------------------------------------------------------------------
+if command -v "${CC:-cc}" > /dev/null; then
+    python -m repro.cli "${GEN_ARGS[@]}" --backend compiled \
+        --out "$SMOKE_DIR/compiled_run.txt" --telemetry "$SMOKE_DIR/compiled-tele"
+    diff "$SMOKE_DIR/clean_run.txt" "$SMOKE_DIR/compiled_run.txt"
+    python -m repro.cli telemetry summarize "$SMOKE_DIR/compiled-tele" --check
+    python benchmarks/bench_throughput.py --scale tiny --check --backend compiled
+    echo "compiled smoke: C backend stream is byte-identical and bench gates pass"
+else
+    echo "compiled smoke: SKIPPED — no C compiler ('${CC:-cc}') on PATH" >&2
+fi
 
 # ----------------------------------------------------------------------
 # Chaos smoke (ISSUE 7): fixed-seed randomized fault schedule.  Each case

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -227,6 +228,10 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
+    if args.backend:
+        # The inference engine is built lazily on first use and reads
+        # REPRO_BACKEND then; the env var also reaches spawned workers.
+        os.environ["REPRO_BACKEND"] = args.backend
     model = _load_any(args.checkpoint)
     if args.temperature != 1.0 or args.top_k or args.top_p < 1.0:
         model.sampler = SamplerConfig(
@@ -513,6 +518,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for free/D&C-GEN generation "
                         "(output is identical for any count)")
+    p.add_argument("--backend", choices=("numpy", "compiled"), default=None,
+                   help="decode-step kernel backend (default: $REPRO_BACKEND "
+                        "or numpy); 'compiled' fuses the step into cached C "
+                        "kernels with byte-identical output, falling back to "
+                        "numpy if no C compiler is available")
     p.add_argument("--temperature", type=float, default=1.0)
     p.add_argument("--top-k", type=int, default=0)
     p.add_argument("--top-p", type=float, default=1.0)

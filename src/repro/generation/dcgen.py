@@ -445,6 +445,7 @@ class DCGenerator:
                 threshold=int(self.config.threshold),
                 gen_batch=int(self.config.gen_batch),
                 workers=int(self.config.workers),
+                backend=self.model.inference.backend_name,
                 **costs,
             )
             owns_journal = False

@@ -311,6 +311,7 @@ class OrderedGenerator:
                 beam_width=int(self.config.beam_width),
                 max_frontier=int(self.config.max_frontier),
                 prompts=len(self.prompts),
+                backend=self.model.inference.backend_name,
             )
             owns_journal = False
             if journal is not None and not isinstance(journal, RunJournal):

@@ -207,7 +207,12 @@ def _run_pool(
         methods = mp.get_all_start_methods()
         start_method = "fork" if "fork" in methods else mp.get_start_method()
     # Build the weight snapshot and prompt-KV cache once, before any
-    # fork, so workers inherit them copy-on-write.
+    # fork, so workers inherit them copy-on-write.  Under
+    # REPRO_BACKEND=compiled this also renders+compiles (or cache-loads)
+    # the fused decode kernels in the parent: forked workers inherit the
+    # loaded shared library and bound weight pointers COW and never
+    # touch the compiler; spawned workers re-resolve via the on-disk
+    # kernel cache instead (the env var travels with them).
     model.inference
     model.prompt_cache
     sampler = model.sampler

@@ -300,6 +300,7 @@ class PagPassGPT(PatternGuidedGuesser):
                 n_tasks=len(chunks),
                 gen_batch=int(GEN_BATCH),
                 workers=int(workers),
+                backend=self.inference.backend_name,
             )
             # Warm the <BOS> prompt before any dispatch so forked workers
             # inherit the primed entry copy-on-write instead of re-priming.

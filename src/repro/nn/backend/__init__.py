@@ -1,0 +1,70 @@
+"""Pluggable decode-step backends for :class:`~repro.nn.inference.GPT2Inference`.
+
+Two implementations sit behind the same ``step()``/``KVCache`` surface:
+
+* ``numpy`` — the reference kernel in :mod:`repro.nn.inference`; always
+  available, defines correctness.
+* ``compiled`` — the fused C kernels in :mod:`.compiled`: the decode
+  step rendered from an explicit op graph (:mod:`.graph` →
+  :mod:`.cstyle`), compiled once with ``cc`` and loaded via ``ctypes``,
+  with numpy's own BLAS doing the matmuls so the output is bit-identical
+  to the reference.
+
+Selection is by the ``REPRO_BACKEND`` environment variable (or the
+``backend=`` argument to ``GPT2Inference``); the CLI exposes it as
+``--backend``.  An unavailable compiled backend (no compiler, compile
+error, parity-canary failure) degrades to numpy with a warning — it
+never fails a campaign.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .blas import BlasSymbols, BlasUnavailable, find_blas
+from .compiled import (
+    BackendUnavailable,
+    CompiledStepBackend,
+    build_library,
+    compiler_available,
+    compiler_path,
+    kernel_cache_dir,
+)
+from .cstyle import render_op_test_source, render_step_source
+from .graph import HostOp, Op, Segment, StepShape, build_step_graph, fuse_segments
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "BackendUnavailable",
+    "BlasSymbols",
+    "BlasUnavailable",
+    "CompiledStepBackend",
+    "HostOp",
+    "Op",
+    "Segment",
+    "StepShape",
+    "build_library",
+    "build_step_graph",
+    "compiler_available",
+    "compiler_path",
+    "find_blas",
+    "fuse_segments",
+    "kernel_cache_dir",
+    "render_op_test_source",
+    "render_step_source",
+    "requested_backend",
+]
+
+BACKEND_ENV = "REPRO_BACKEND"
+BACKEND_NAMES = ("numpy", "compiled")
+
+
+def requested_backend(explicit: str | None = None) -> str:
+    """Resolve the backend request: explicit argument > env > ``numpy``."""
+    name = explicit or os.environ.get(BACKEND_ENV) or "numpy"
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown backend {name!r} (expected one of {', '.join(BACKEND_NAMES)})"
+        )
+    return name

@@ -1,0 +1,391 @@
+"""Compiled decode-step backend: render → cc → ctypes → verify.
+
+One :class:`CompiledStepBackend` serves one ``GPT2Inference`` instance.
+Construction renders the fused C source for the model's
+:class:`~.graph.StepShape`, compiles it once (or reuses a cached shared
+library — in-memory per process, on-disk under ``~/.cache/repro-kernels``
+keyed by source digest), binds the model's weight pointers into the
+context struct, and then runs a **parity canary**: a few decode steps at
+batch 2 and batch 1 compared bit-for-bit against the numpy reference,
+including the KV-cache contents.  Any mismatch, missing compiler, or
+compile error raises :class:`BackendUnavailable` — the caller falls back
+to numpy and the campaign continues.
+
+``step()`` is a drop-in for the numpy single-token kernel: same
+``(ids, KVCache) -> logits`` contract, same cache mutation, bit-identical
+output.  ``supports()`` is the cheap per-call guard (contiguity, dtype,
+capacity, position bounds); anything outside the guard silently takes
+the numpy path for that call.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import platform
+import shutil
+import subprocess
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...telemetry.metrics import get_registry
+from .blas import BlasSymbols, BlasUnavailable, find_blas
+from .cstyle import (
+    CTX_CACHE_PTRS,
+    CTX_GLOBAL_PTRS,
+    CTX_LAYER_PTRS,
+    CTX_SCRATCH_PTRS,
+    RENDERER_VERSION,
+    ctx_ctypes_struct,
+    render_step_source,
+)
+from .graph import HostOp, Segment, StepShape, build_step_graph, fuse_segments
+
+__all__ = [
+    "BackendUnavailable",
+    "CompiledStepBackend",
+    "compiler_path",
+    "compiler_available",
+    "kernel_cache_dir",
+    "build_library",
+]
+
+KERNEL_CACHE_ENV = "REPRO_KERNEL_CACHE"
+
+# Flag sets tried in order.  -ffp-contract=off is non-negotiable (only
+# explicit fmaf() calls may fuse); -march=native is preferred for the
+# vector ISA but dropped if the local cc rejects it.
+_FLAG_SETS: Tuple[Tuple[str, ...], ...] = (
+    ("-O3", "-march=native", "-ffp-contract=off", "-shared", "-fPIC"),
+    ("-O3", "-ffp-contract=off", "-shared", "-fPIC"),
+)
+
+# Process-wide library cache: digest -> loaded CDLL.  Shared across
+# backend instances so a second model of the same shape pays nothing.
+_LIB_CACHE: Dict[str, ctypes.CDLL] = {}
+
+_COMPILE_SECONDS = 0.0
+
+
+class BackendUnavailable(RuntimeError):
+    """The compiled backend cannot be used; callers fall back to numpy."""
+
+
+def compiler_path() -> Optional[str]:
+    """Absolute path of the C compiler, honouring ``CC``; None if absent."""
+    return shutil.which(os.environ.get("CC") or "cc")
+
+
+def compiler_available() -> bool:
+    return compiler_path() is not None
+
+
+def kernel_cache_dir() -> str:
+    override = os.environ.get(KERNEL_CACHE_ENV)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-kernels")
+
+
+def _digest(source: str, flags: Tuple[str, ...]) -> str:
+    h = hashlib.sha256()
+    h.update(RENDERER_VERSION.encode())
+    h.update(platform.machine().encode())
+    h.update(" ".join(flags).encode())
+    h.update(source.encode())
+    return h.hexdigest()[:16]
+
+
+def _compile(source: str, flags: Tuple[str, ...], out_path: str) -> None:
+    cc = compiler_path()
+    if cc is None:
+        raise BackendUnavailable("no C compiler found (set CC or install cc)")
+    cache_dir = os.path.dirname(out_path)
+    os.makedirs(cache_dir, exist_ok=True)
+    fd, src_path = tempfile.mkstemp(suffix=".c", dir=cache_dir)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(source)
+        fd_so, tmp_so = tempfile.mkstemp(suffix=".so", dir=cache_dir)
+        os.close(fd_so)
+        try:
+            proc = subprocess.run(
+                [cc, *flags, "-o", tmp_so, src_path, "-lm"],
+                capture_output=True,
+                text=True,
+            )
+            if proc.returncode != 0:
+                raise BackendUnavailable(
+                    f"cc failed ({' '.join(flags)}): {proc.stderr.strip()[:500]}"
+                )
+            os.replace(tmp_so, out_path)  # atomic publish
+        finally:
+            if os.path.exists(tmp_so):
+                os.unlink(tmp_so)
+        # Keep the source next to the library for auditability.
+        try:
+            os.replace(src_path, out_path[:-3] + ".c")
+        except OSError:
+            pass
+    finally:
+        if os.path.exists(src_path):
+            os.unlink(src_path)
+
+
+def build_library(source: str, tag: str = "step") -> ctypes.CDLL:
+    """Compile ``source`` (or reuse a cached build) and load it.
+
+    Counts ``backend.kernels_compiled`` / ``backend.cache_hits`` and
+    accumulates ``backend.compile_seconds`` in the metrics registry.
+    Raises :class:`BackendUnavailable` when no compiler is usable.
+    """
+    global _COMPILE_SECONDS
+    registry = get_registry()
+    cache_dir = kernel_cache_dir()
+    digests = [(flags, _digest(source, flags)) for flags in _FLAG_SETS]
+
+    for _flags, digest in digests:
+        if digest in _LIB_CACHE:
+            registry.counter("backend.cache_hits").inc()
+            return _LIB_CACHE[digest]
+    for _flags, digest in digests:
+        so_path = os.path.join(cache_dir, f"{tag}-{digest}.so")
+        if os.path.exists(so_path):
+            try:
+                lib = ctypes.CDLL(so_path)
+            except OSError:
+                continue  # stale/foreign build; fall through to recompile
+            _LIB_CACHE[digest] = lib
+            registry.counter("backend.cache_hits").inc()
+            return lib
+
+    errors: List[str] = []
+    for flags, digest in digests:
+        so_path = os.path.join(cache_dir, f"{tag}-{digest}.so")
+        started = time.perf_counter()
+        try:
+            _compile(source, flags, so_path)
+        except BackendUnavailable as exc:
+            if str(exc) not in errors:
+                errors.append(str(exc))
+            continue
+        _COMPILE_SECONDS += time.perf_counter() - started
+        lib = ctypes.CDLL(so_path)
+        _LIB_CACHE[digest] = lib
+        registry.counter("backend.kernels_compiled").inc()
+        registry.gauge("backend.compile_seconds").set(round(_COMPILE_SECONDS, 6))
+        return lib
+    raise BackendUnavailable("; ".join(errors) or "compilation failed")
+
+
+def _as_f32_contiguous(arr: np.ndarray, keep: List[np.ndarray]) -> np.ndarray:
+    out = np.ascontiguousarray(arr, dtype=np.float32)
+    keep.append(out)  # pin: ctx holds raw pointers into this memory
+    return out
+
+
+class CompiledStepBackend:
+    """ctypes driver for the fused decode-step kernels."""
+
+    name = "compiled"
+
+    def __init__(self, inference: Any) -> None:
+        cfg = inference.config
+        self._vocab = int(inference.token_emb.shape[0])
+        self._block = int(inference.pos_emb.shape[0])
+        head_trans, head_arr = self._head_layout(inference.lm_head)
+        self.shape = StepShape(
+            dim=int(cfg.dim),
+            n_layers=int(cfg.n_layers),
+            n_heads=int(cfg.n_heads),
+            block_size=self._block,
+            vocab_size=self._vocab,
+            head_transposed=head_trans,
+        )
+        try:
+            self.blas: BlasSymbols = find_blas()
+        except BlasUnavailable as exc:
+            raise BackendUnavailable(str(exc)) from exc
+        source = render_step_source(self.shape, blas_int64=self.blas.ilp64)
+        self._lib = build_library(source, tag="step")
+        self._lib.repro_set_blas(
+            ctypes.c_void_p(self.blas.sgemm), ctypes.c_void_p(self.blas.sgemv)
+        )
+
+        self._keep: List[np.ndarray] = []  # pins every array the ctx points into
+        self._ctx = self._bind_weights(inference, head_arr)
+        self._schedule = self._build_schedule()
+        self._verify_against_reference(inference)
+
+    # -- construction ---------------------------------------------------
+
+    @staticmethod
+    def _head_layout(lm_head: np.ndarray) -> Tuple[bool, np.ndarray]:
+        """Match numpy's dispatch for ``h @ lm_head``.
+
+        A C-contiguous (dim, vocab) head takes the NoTrans gemm; the tied
+        head (a transpose view of token_emb) takes the Trans gemm on the
+        (vocab, dim) base.  Anything else is copied to (dim, vocab) —
+        the same buffering numpy itself performs.
+        """
+        if lm_head.flags.c_contiguous:
+            return False, lm_head
+        base = lm_head.T
+        if base.flags.c_contiguous:
+            return True, base
+        return False, np.ascontiguousarray(lm_head)
+
+    def _bind_weights(self, inference: Any, head_arr: np.ndarray) -> Any:
+        shape = self.shape
+        ctx_cls = ctx_ctypes_struct(shape.n_layers)
+        ctx = ctx_cls()
+        keep = self._keep
+
+        def ptr(arr: np.ndarray) -> int:
+            return _as_f32_contiguous(arr, keep).ctypes.data
+
+        ctx.token_emb = ptr(inference.token_emb)
+        ctx.pos_emb = ptr(inference.pos_emb)
+        ctx.lnf_w = ptr(inference.ln_f_w)
+        ctx.lnf_b = ptr(inference.ln_f_b)
+        ctx.lm_head = ptr(head_arr)
+        ctx.head_trans = 1 if shape.head_transposed else 0
+
+        # _BlockWeights attribute names differ from the short C names
+        # only for the second MLP matmul.
+        attr_map = {"fcp_w": "fc_proj_w", "fcp_b": "fc_proj_b"}
+        for field in CTX_LAYER_PTRS:
+            arr_field = getattr(ctx, field)
+            for layer, bw in enumerate(inference.blocks):
+                arr_field[layer] = ptr(getattr(bw, attr_map.get(field, field)))
+        self._ctx_ref = ctypes.byref(ctx)
+        return ctx
+
+    def _build_schedule(self) -> List[Tuple[str, Any]]:
+        schedule: List[Tuple[str, Any]] = []
+        for item in fuse_segments(build_step_graph(self.shape)):
+            if isinstance(item, Segment):
+                schedule.append(("seg", getattr(self._lib, item.name)))
+            else:
+                schedule.append((item.func, item.buf))
+        return schedule
+
+    def _make_scratch(self, batch: int) -> Dict[str, Any]:
+        shape = self.shape
+        sizes = {
+            "x": batch * shape.dim,
+            "h": batch * shape.dim,
+            "qkv": batch * 3 * shape.dim,
+            "scores": batch * shape.n_heads * shape.block_size,
+            "att": batch * shape.dim,
+            "ff": batch * shape.ff_dim,
+            "t": batch * shape.ff_dim,
+        }
+        scratch: Dict[str, Any] = {
+            name: np.empty(size, dtype=np.float32) for name, size in sizes.items()
+        }
+        scratch["logits"] = np.empty((batch, self._vocab), dtype=np.float32)
+        scratch["batch"] = batch
+        return scratch
+
+    # -- per-call guard -------------------------------------------------
+
+    def supports(self, ids: np.ndarray, cache: Any) -> bool:
+        """True when this call is inside the kernel's validated domain."""
+        shape = self.shape
+        keys = getattr(cache, "keys", None)
+        values = getattr(cache, "values", None)
+        if keys is None or values is None or len(keys) != shape.n_layers:
+            return False
+        batch = ids.shape[0]
+        if batch < 1 or cache.length >= self._block:
+            return False
+        for buf in (*keys, *values):
+            if (
+                buf.dtype != np.float32
+                or not buf.flags.c_contiguous
+                or buf.ndim != 4
+                or buf.shape[0] != batch
+                or buf.shape[1] != shape.n_heads
+                or buf.shape[2] <= cache.length
+                or buf.shape[3] != shape.head_dim
+            ):
+                return False
+        return True
+
+    # -- execution ------------------------------------------------------
+
+    def step(self, next_ids: np.ndarray, cache: Any) -> np.ndarray:
+        """Run one fused decode step; mirrors the numpy kernel exactly."""
+        ids = np.ascontiguousarray(np.asarray(next_ids).reshape(-1), dtype=np.int64)
+        batch = ids.shape[0]
+        if ids.size and (ids.min() < 0 or ids.max() >= self._vocab):
+            raise IndexError("token id out of range")
+        pos = cache.length
+        stop = pos + 1
+        cap = cache.keys[0].shape[2]
+
+        scratch = getattr(cache, "_compiled_scratch", None)
+        if scratch is None or scratch["batch"] != batch:
+            scratch = self._make_scratch(batch)
+            cache._compiled_scratch = scratch
+
+        ctx = self._ctx
+        ctx.ids = ids.ctypes.data
+        for name in CTX_SCRATCH_PTRS:
+            setattr(ctx, name, scratch[name].ctypes.data)
+        for layer in range(self.shape.n_layers):
+            ctx.keys[layer] = cache.keys[layer].ctypes.data
+            ctx.values[layer] = cache.values[layer].ctypes.data
+
+        c_batch = ctypes.c_int64(batch)
+        c_pos = ctypes.c_int64(pos)
+        c_cap = ctypes.c_int64(cap)
+        n_scores = batch * self.shape.n_heads * stop
+        n_ff = batch * self.shape.ff_dim
+        for kind, payload in self._schedule:
+            if kind == "seg":
+                payload(self._ctx_ref, c_batch, c_pos, c_cap)
+            elif kind == "exp":
+                flat = scratch["scores"][:n_scores]
+                np.exp(flat, out=flat)
+            else:  # tanh
+                flat = scratch["t"][:n_ff]
+                np.tanh(flat, out=flat)
+        cache.length = stop
+        return scratch["logits"].copy()
+
+    # -- init-time parity canary ----------------------------------------
+
+    def _verify_against_reference(self, inference: Any) -> None:
+        """A few steps, bit-compared against numpy — logits and caches."""
+        from ..inference import KVCache
+
+        shape = self.shape
+        rng = np.random.default_rng(0)
+        for batch in (2, 1):
+            steps = max(1, min(self._block - 1, 5))
+            ref_cache = KVCache(shape.n_layers, batch, shape.n_heads, self._block, shape.head_dim)
+            got_cache = KVCache(shape.n_layers, batch, shape.n_heads, self._block, shape.head_dim)
+            for _ in range(steps):
+                ids = rng.integers(0, self._vocab, size=batch, dtype=np.int64)
+                ref = inference._step_numpy(ids, ref_cache)
+                if not self.supports(ids, got_cache):
+                    raise BackendUnavailable("parity canary: kernel rejected canonical cache")
+                got = self.step(ids, got_cache)
+                if ref.tobytes() != got.tobytes():
+                    raise BackendUnavailable(
+                        f"parity canary failed: logits differ at batch={batch}"
+                    )
+            for layer in range(shape.n_layers):
+                if (
+                    ref_cache.keys[layer].tobytes() != got_cache.keys[layer].tobytes()
+                    or ref_cache.values[layer].tobytes() != got_cache.values[layer].tobytes()
+                ):
+                    raise BackendUnavailable(
+                        f"parity canary failed: KV cache differs at layer {layer}"
+                    )

@@ -29,6 +29,7 @@ Fast-path design (inference fast-path v2):
 
 from __future__ import annotations
 
+import sys
 from collections import OrderedDict
 from dataclasses import dataclass, fields
 
@@ -38,6 +39,26 @@ from ..telemetry.metrics import get_registry
 from .transformer import GPT2Model
 
 _NEG_INF = -1e9
+
+# One backend_fallback warning/event per process: campaigns build many
+# GPT2Inference instances (per worker, per lab model) and a missing
+# compiler should not flood stderr or the telemetry stream.
+_BACKEND_FALLBACK_EMITTED = False
+
+
+def _note_backend_fallback(reason: str) -> None:
+    global _BACKEND_FALLBACK_EMITTED
+    get_registry().counter("backend.fallbacks").inc()
+    if _BACKEND_FALLBACK_EMITTED:
+        return
+    _BACKEND_FALLBACK_EMITTED = True
+    print(
+        f"repro: compiled backend unavailable, falling back to numpy: {reason}",
+        file=sys.stderr,
+    )
+    from ..telemetry.tracing import emit
+
+    emit("backend_fallback", requested="compiled", active="numpy", reason=reason)
 
 
 # Python-float constant: a np.float64 scalar here would upcast every
@@ -196,9 +217,18 @@ class GPT2Inference:
     The instance snapshots the model weights at construction time (the
     arrays are shared, not copied); rebuild it after further training
     steps.  All paths compute in float32.
+
+    ``backend`` selects the seq==1 decode kernel: ``"numpy"`` (default)
+    is the reference implementation below; ``"compiled"`` swaps
+    :meth:`step` for the fused C kernels in :mod:`repro.nn.backend`,
+    which reproduce the reference bit-for-bit (enforced by an init-time
+    parity canary; any failure degrades to numpy with a warning).  When
+    ``backend`` is None the ``REPRO_BACKEND`` environment variable
+    decides.  Priming (:meth:`start`/:meth:`extend`) always runs the
+    numpy path.
     """
 
-    def __init__(self, model: GPT2Model) -> None:
+    def __init__(self, model: GPT2Model, backend: str | None = None) -> None:
         cfg = model.config
         self.config = cfg
         self.token_emb = model.token_emb.weight.data
@@ -236,6 +266,19 @@ class GPT2Inference:
         # live model per process in practice); the provider holds only
         # the small counters dataclass, never the weights.
         get_registry().register_group("inference", self.counters.as_dict)
+
+        from .backend import requested_backend
+
+        self._compiled = None
+        self.backend_name = "numpy"
+        if requested_backend(backend) == "compiled":
+            try:
+                from .backend import CompiledStepBackend
+
+                self._compiled = CompiledStepBackend(self)
+                self.backend_name = "compiled"
+            except Exception as exc:  # missing cc, compile error, parity failure
+                _note_backend_fallback(str(exc))
 
     # ------------------------------------------------------------------
     # Full-sequence forward (no cache)
@@ -326,13 +369,24 @@ class GPT2Inference:
         ids = np.asarray(next_ids).reshape(-1)
         cfg = self.config
         batch = ids.shape[0]
-        pos = cache.length
-        stop = pos + 1
-        if stop > cfg.block_size:
-            raise ValueError(f"cache overflow: {stop} > block size {cfg.block_size}")
+        if cache.length + 1 > cfg.block_size:
+            raise ValueError(
+                f"cache overflow: {cache.length + 1} > block size {cfg.block_size}"
+            )
         self.counters.calls += 1
         self.counters.step_calls += 1
         self.counters.step_rows += batch
+        backend = self._compiled
+        if backend is not None and backend.supports(ids, cache):
+            return backend.step(ids, cache)
+        return self._step_numpy(ids, cache)
+
+    def _step_numpy(self, ids: np.ndarray, cache: KVCache) -> np.ndarray:
+        """Reference seq==1 kernel (counter-free; ids already flattened)."""
+        cfg = self.config
+        batch = ids.shape[0]
+        pos = cache.length
+        stop = pos + 1
         dim = cfg.dim
         n_heads = cfg.n_heads
         head_dim = dim // n_heads

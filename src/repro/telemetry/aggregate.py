@@ -265,6 +265,8 @@ def render_summary(summary: dict, top_spans: int = 10) -> str:
         f"(executed {summary['executed']['guesses']}, resumed {summary['resumed']['guesses']})"
         + (f"  fleet rate: {rate}/s over {summary['wall_s']}s" if rate else "")
     )
+    if planned.get("backend"):
+        lines.append(f"  decode backend: {planned['backend']}")
     if planned:
         lines.append("")
         lines.append("Planned vs actual")

@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from repro.generation import DCGenConfig, DCGenerator, plan_digest
+from repro.nn.backend import compiler_available
 from repro.runtime import faults
 from repro.runtime.faults import InjectedFault
 
@@ -102,3 +103,38 @@ def test_fixture_self_consistent(golden):
     for key in ("dcgen", "free", "ordered"):
         digest = hashlib.sha256("\n".join(golden[key]).encode()).hexdigest()
         assert digest == golden[f"{key}_sha256"]
+
+
+@pytest.mark.skipif(not compiler_available(), reason="no C compiler available")
+class TestCompiledBackendGolden:
+    """The compiled decode backend is held to the same fixture bytes.
+
+    ``REPRO_BACKEND=compiled`` swaps the seq==1 decode kernel for the
+    fused C path (``repro.nn.backend``); every strategy must still emit
+    the identical golden stream, serial and multi-process (forked
+    workers inherit the loaded kernel library copy-on-write).
+    """
+
+    @pytest.fixture(autouse=True)
+    def _compiled_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "compiled")
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_dcgen_stream_byte_identical(self, golden, workers):
+        model = build_model()
+        assert model.inference.backend_name == "compiled", "backend fell back"
+        dc = SPEC["dcgen"]
+        gen = DCGenerator(model, DCGenConfig(threshold=dc["threshold"], workers=workers))
+        stream = gen.generate(dc["total"], seed=dc["seed"])
+        assert stream == golden["dcgen"]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_free_stream_byte_identical(self, golden, workers):
+        model = build_model()
+        assert model.inference.backend_name == "compiled", "backend fell back"
+        stream = model.generate(SPEC["free"]["n"], seed=SPEC["free"]["seed"], workers=workers)
+        assert stream == golden["free"]
+
+    def test_ordered_stream_byte_identical(self, golden):
+        stream = generate_ordered_stream(snapshot_every=4)
+        assert stream == golden["ordered"]
