@@ -151,3 +151,29 @@ python -m repro.cli chaos --workdir "$SMOKE_DIR/chaos" \
     --seed 0 --per-strategy 1 --strategies dcgen,sampled --workers 1 -n 400
 test -s "$SMOKE_DIR/chaos/chaos-report.json"
 echo "chaos smoke: seeded fault schedule holds the byte-identical-resume invariant"
+
+# ----------------------------------------------------------------------
+# Server soak smoke (ISSUE 9): guessing as a service under chaos.  A
+# fixed-seed soak drives a live campaign server with concurrent client
+# threads, one armed worker-crash fault, and a SIGTERM drain mid-run;
+# a recovered server over the same state dir must finish every accepted
+# request with a byte-identical stream (zero lost, zero duplicated) and
+# a clean per-job `telemetry summarize --check`, or a typed failure.
+# ----------------------------------------------------------------------
+python -m repro.cli chaos --server --workdir "$SMOKE_DIR/soak" \
+    --checkpoint "$SMOKE_DIR/model.npz" \
+    --seed 0 --requests 4 --clients 2 -n 200
+test -s "$SMOKE_DIR/soak/soak-report.json"
+echo "server soak smoke: accepted requests survive crash+drain byte-identically"
+
+# And the operator path end-to-end: a real `repro serve` process must
+# come up, stay alive, and exit 0 on a SIGTERM graceful drain.
+python -m repro.cli serve --checkpoint "$SMOKE_DIR/model.npz" \
+    --state-dir "$SMOKE_DIR/server-state" --port 0 --fleet 1 &
+SERVER_PID=$!
+sleep 3
+kill -0 "$SERVER_PID" || { echo "serve smoke: server died at startup" >&2; exit 1; }
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+test -s "$SMOKE_DIR/server-state/requests.journal.jsonl"
+echo "serve smoke: SIGTERM drain exits 0"

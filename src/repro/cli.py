@@ -394,6 +394,26 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             if code != 0:
                 print("error: chaos model training failed", file=sys.stderr)
                 return EXIT_FAILURE
+    if args.server:
+        report = chaos.run_server_soak(
+            checkpoint,
+            workdir / "server-soak",
+            base_seed=args.seed,
+            n_requests=args.requests,
+            clients=args.clients,
+            n=args.n if args.n is not None else 250,
+            log=lambda msg: print(msg, file=sys.stderr),
+        )
+        report_path = workdir / "soak-report.json"
+        atomic_write_text(report_path, json.dumps(report.to_dict(), indent=2) + "\n")
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(f"server soak: {len(report.outcomes)} request(s), "
+                  f"{len(report.failures)} failure(s); report at {report_path}")
+            for failure in report.failures:
+                print(f"  FAIL {failure}")
+        return EXIT_OK if report.ok else EXIT_FAILURE
     strategies = [s for s in args.strategies.split(",") if s]
     workers_list = [int(w) for w in args.workers.split(",") if w]
     report = chaos.run_chaos(
@@ -416,6 +436,47 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         for r in report.failures:
             print(f"  FAIL {r.case.describe()}: {r.failure}")
     return EXIT_OK if report.ok else EXIT_FAILURE
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the campaign server until a graceful drain completes.
+
+    Exit codes follow the drain reason: a SIGTERM/SIGINT drain or a
+    programmatic drain request is the *intended* shutdown and exits 0;
+    an expired server-wide ``--deadline`` exits 3.  Corrupt state
+    (checkpoint or server journal) exits 2 before serving starts.
+    """
+    import asyncio
+
+    from .server import CampaignServer, ServerConfig
+
+    config = ServerConfig(
+        checkpoint=args.checkpoint,
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        fleet=args.fleet,
+        max_queue=args.max_queue,
+        max_tenant_queue=args.max_tenant_queue,
+        rate=args.rate,
+        burst=args.burst,
+        deadline=args.deadline,
+        job_telemetry=args.job_telemetry,
+    )
+    server = CampaignServer(config)
+
+    async def _serve() -> dict:
+        await server.start()
+        print(f"serving on http://{config.host}:{server.port} "
+              f"(state dir: {config.state_dir}, fleet: {config.fleet})",
+              file=sys.stderr)
+        return await server.serve_forever()
+
+    with signals.graceful_shutdown():
+        summary = asyncio.run(_serve())
+    jobs = {k: v for k, v in summary["jobs"].items() if v}
+    print(f"drained ({summary['reason']}): {jobs or 'no jobs'}", file=sys.stderr)
+    return EXIT_INTERRUPTED if summary["reason"] == "deadline" else EXIT_OK
 
 
 def _load_any(path: str) -> PagPassGPT | PassGPT:
@@ -603,7 +664,49 @@ def build_parser() -> argparse.ArgumentParser:
                    help="guesses per campaign (default: per-strategy sizing)")
     p.add_argument("--json", action="store_true",
                    help="print the full chaos report as JSON on stdout")
+    p.add_argument("--server", action="store_true",
+                   help="soak the campaign server instead: concurrent "
+                        "clients, an injected worker crash, a SIGTERM "
+                        "drain mid-run, then verify every accepted "
+                        "request resumed byte-identically")
+    p.add_argument("--requests", type=int, default=5,
+                   help="(--server) campaign requests to submit")
+    p.add_argument("--clients", type=int, default=2,
+                   help="(--server) concurrent client threads / tenants")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="guessing as a service: journaled campaign server with "
+             "admission control and graceful drain",
+    )
+    p.add_argument("--checkpoint", required=True,
+                   help="default model checkpoint served to requests")
+    p.add_argument("--state-dir", required=True,
+                   help="server state: the request journal plus one "
+                        "directory per job (journal, guesses, telemetry)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8157,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("--fleet", type=int, default=2,
+                   help="concurrent campaign slots")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="global queued-request cap (503 beyond it)")
+    p.add_argument("--max-tenant-queue", type=int, default=8,
+                   help="per-tenant queued-request cap (429 beyond it)")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="per-tenant sustained requests/second")
+    p.add_argument("--burst", type=float, default=20.0,
+                   help="per-tenant token-bucket burst size")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="server-wide wall-clock budget in seconds; "
+                        "composes min-wins into every request and "
+                        "drains the server (exit 3) when it expires")
+    p.add_argument("--job-telemetry", action="store_true",
+                   help="record a per-job telemetry session under each "
+                        "job directory (forces --fleet 1: sessions are "
+                        "process-global)")
+    p.set_defaults(fn=cmd_serve)
 
     return parser
 

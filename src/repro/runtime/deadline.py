@@ -89,6 +89,52 @@ class Budget:
         """Seconds since the budget was created."""
         return self._clock() - self._start
 
+    def remaining(self) -> Optional[float]:
+        """Wall-clock seconds left, clamped at 0; ``None`` without a limit.
+
+        The serving layer uses this to derive a request's *effective*
+        deadline from a long-lived server-wide budget: the remainder is
+        what a request admitted now may still spend.
+        """
+        if self.wall_seconds is None:
+            return None
+        return max(0.0, self.wall_seconds - self.elapsed())
+
+    @classmethod
+    def merge(
+        cls,
+        *budgets: Optional["Budget"],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> Optional["Budget"]:
+        """Min-wins composition of budgets (``None`` entries are ignored).
+
+        Returns a fresh budget whose wall-clock limit is the smallest
+        *remaining* time of any contributor — remaining, not original,
+        because contributors started ticking at different times (a
+        server-wide budget may be hours old when a request arrives) —
+        and whose guess/model-call quotas are the smallest of each.
+        Returns ``None`` when every argument is ``None``.
+
+        An already-expired contributor yields a merged ``wall_seconds``
+        of ``0.0`` (assigned past the constructor's positivity check on
+        purpose): the merged budget trips ``"deadline"`` on the very
+        first :meth:`poll` instead of silently granting time.
+        """
+        live = [b for b in budgets if b is not None]
+        if not live:
+            return None
+        walls = [b.remaining() for b in live if b.wall_seconds is not None]
+        guesses = [b.max_guesses for b in live if b.max_guesses is not None]
+        calls = [b.max_model_calls for b in live if b.max_model_calls is not None]
+        merged = cls(
+            max_guesses=min(guesses) if guesses else None,
+            max_model_calls=min(calls) if calls else None,
+            clock=clock,
+        )
+        if walls:
+            merged.wall_seconds = min(walls)
+        return merged
+
     def exceeded(
         self,
         guesses: Optional[int] = None,

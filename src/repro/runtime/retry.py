@@ -17,7 +17,10 @@ process) and every still-pending task is resubmitted to a fresh pool.
 The timeout can be set fleet-wide via the ``REPRO_TASK_TIMEOUT``
 environment variable, which fills in any policy constructed without an
 explicit value — chaos runs and CI use this to pair short injected hangs
-with a short watchdog.
+with a short watchdog.  A value of ``0`` explicitly disables the
+watchdog; negative, non-finite, or non-numeric values raise
+``ValueError`` at policy construction instead of leaking into pool
+waits.
 
 ``supervised_map`` also accepts a ``stop`` callable (typically
 ``Budget.stopper(...)`` from :mod:`repro.runtime.deadline`): it is
@@ -81,15 +84,24 @@ class RetryPolicy:
             raise ValueError("jitter must be in [0, 1]")
         if self.task_timeout is None:
             env = os.environ.get(TASK_TIMEOUT_ENV)
-            if env:
+            if env is not None and env.strip():
                 try:
                     timeout = float(env)
                 except ValueError:
                     raise ValueError(
                         f"bad {TASK_TIMEOUT_ENV} value {env!r}; expected seconds as a float"
                     ) from None
-                # frozen dataclass: the env fallback is part of construction.
-                object.__setattr__(self, "task_timeout", timeout)
+                if timeout < 0 or timeout != timeout or timeout in (float("inf"),):
+                    raise ValueError(
+                        f"bad {TASK_TIMEOUT_ENV} value {env!r}; must be a finite "
+                        "number of seconds >= 0 (0 disables the hang watchdog)"
+                    )
+                if timeout > 0:
+                    # frozen dataclass: the env fallback is part of
+                    # construction; 0 means "watchdog disabled" and keeps
+                    # the None default (wait forever) instead of leaking a
+                    # zero-second wait into every pool poll.
+                    object.__setattr__(self, "task_timeout", timeout)
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ValueError("task_timeout must be positive or None")
 

@@ -1,0 +1,155 @@
+"""Admission control: bounded queues and per-tenant token-bucket rates.
+
+The robustness contract of the serving layer is *explicit* backpressure:
+a request the server cannot take on right now is rejected immediately
+with a typed 429/503 and a ``Retry-After`` hint, instead of buffered
+into an unbounded queue that turns overload into latency, memory
+pressure, and eventually lost work.  Checks run in rejection-priority
+order:
+
+1. **draining** — the server received SIGTERM and is winding down
+   (503; retry after the drain grace, against the replacement process);
+2. **global queue depth** — total queued work is capped (503: the
+   *server* is saturated, any tenant would be refused);
+3. **per-tenant queue depth** — one tenant cannot occupy the whole
+   queue (429: *this* tenant should back off);
+4. **per-tenant token bucket** — sustained request *rate* is capped
+   independently of queue depth (429 with the exact refill wait).
+
+Every rejection ticks a ``server.rejected.<reason>`` counter so the
+``/metrics`` endpoint shows who is being pushed back and why.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+from .. import telemetry
+from .protocol import RequestError
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``take()`` returns 0.0 on success (one token consumed) or the exact
+    number of seconds until a token will be available (none consumed).
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0 or burst < 1:
+            raise ValueError("rate must be > 0 and burst >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def take(self) -> float:
+        """Consume one token, or report how long until one exists."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class AdmissionController:
+    """Decides, per submission, whether the server takes the work on.
+
+    Queue depths are supplied by the caller (the job store owns them);
+    the controller owns only the rate state.  Thread-safe: submissions
+    arrive on the event loop but chaos harnesses poke it from test
+    threads.
+    """
+
+    def __init__(
+        self,
+        max_queue: int = 64,
+        max_tenant_queue: int = 8,
+        rate: float = 50.0,
+        burst: float = 20.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_queue < 1 or max_tenant_queue < 1:
+            raise ValueError("queue capacities must be >= 1")
+        self.max_queue = int(max_queue)
+        self.max_tenant_queue = int(max_tenant_queue)
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def _reject(self, reason: str, exc: RequestError) -> RequestError:
+        telemetry.get_registry().counter(f"server.rejected.{reason}").inc()
+        telemetry.get_registry().counter("server.rejected").inc()
+        return exc
+
+    def admit(
+        self,
+        tenant: str,
+        tenant_queued: int,
+        total_queued: int,
+        draining: bool,
+        drain_retry_after: float = 30.0,
+    ) -> None:
+        """Raise a typed :class:`RequestError` unless the request may queue."""
+        if draining:
+            raise self._reject(
+                "draining",
+                RequestError(
+                    503, "draining",
+                    "server is draining and no longer admits work",
+                    retry_after=drain_retry_after,
+                ),
+            )
+        if total_queued >= self.max_queue:
+            raise self._reject(
+                "queue_full",
+                RequestError(
+                    503, "queue_full",
+                    f"server queue is full ({total_queued}/{self.max_queue})",
+                    retry_after=1.0,
+                ),
+            )
+        if tenant_queued >= self.max_tenant_queue:
+            raise self._reject(
+                "tenant_queue_full",
+                RequestError(
+                    429, "tenant_queue_full",
+                    f"tenant {tenant!r} already has {tenant_queued} queued "
+                    f"request(s) (limit {self.max_tenant_queue})",
+                    retry_after=1.0,
+                ),
+            )
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.rate, self.burst, clock=self._clock
+                )
+            wait = bucket.take()
+        if wait > 0.0:
+            raise self._reject(
+                "rate_limited",
+                RequestError(
+                    429, "rate_limited",
+                    f"tenant {tenant!r} exceeded {self.rate:g} requests/s "
+                    f"(burst {self.burst:g})",
+                    retry_after=wait,
+                ),
+            )
+        telemetry.get_registry().counter("server.accepted").inc()

@@ -147,3 +147,118 @@ class TestSignals:
             assert _signal.getsignal(_signal.SIGTERM) is _signal.SIG_DFL
             assert _signal.getsignal(_signal.SIGINT) is _signal.SIG_IGN
             assert signals.requested() is None
+
+
+class TestRemaining:
+    def test_limitless_budget_has_no_remaining(self):
+        assert Budget().remaining() is None
+
+    def test_counts_down_with_the_clock(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=10.0, clock=clock)
+        assert budget.remaining() == pytest.approx(10.0)
+        clock.t = 4.0
+        assert budget.remaining() == pytest.approx(6.0)
+
+    def test_clamps_at_zero_after_expiry(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=10.0, clock=clock)
+        clock.t = 25.0
+        assert budget.remaining() == 0.0  # never negative
+
+
+class TestMerge:
+    def test_all_none_merges_to_none(self):
+        assert Budget.merge() is None
+        assert Budget.merge(None, None) is None
+
+    def test_single_budget_survives_with_none_partner(self):
+        merged = Budget.merge(None, Budget(max_guesses=7))
+        assert merged is not None
+        assert merged.max_guesses == 7
+        assert merged.wall_seconds is None
+        assert merged.max_model_calls is None
+
+    def test_wall_min_wins_on_remaining_not_original(self):
+        clock = FakeClock()
+        server = Budget(wall_seconds=100.0, clock=clock)
+        clock.t = 95.0  # the server budget is nearly spent...
+        request = Budget(wall_seconds=60.0, clock=clock)
+        merged = Budget.merge(server, request, clock=clock)
+        # ...so the request gets the server's 5s remainder, not 60s.
+        assert merged.wall_seconds == pytest.approx(5.0)
+        clock.t = 99.0
+        assert merged.exceeded() is None
+        clock.t = 100.0
+        assert merged.exceeded() == "deadline"
+
+    def test_quotas_min_win_independently(self):
+        merged = Budget.merge(
+            Budget(max_guesses=100, max_model_calls=50),
+            Budget(max_guesses=10),
+        )
+        assert merged.max_guesses == 10
+        assert merged.max_model_calls == 50
+
+    def test_already_expired_contributor_trips_first_poll(self):
+        clock = FakeClock()
+        spent = Budget(wall_seconds=5.0, clock=clock)
+        clock.t = 30.0  # way past the limit before the merge happens
+        merged = Budget.merge(spent, Budget(max_guesses=1000), clock=clock)
+        assert merged.wall_seconds == 0.0
+        assert merged.exceeded() == "deadline"
+        with pytest.raises(CampaignInterrupted) as info:
+            merged.poll(guesses=0)
+        assert info.value.reason == "deadline"
+
+    def test_merged_budget_still_observes_stop_requests(self):
+        merged = Budget.merge(Budget(), Budget(max_guesses=1000))
+        signals.request(_signal.SIGTERM)
+        try:
+            with pytest.raises(CampaignInterrupted) as info:
+                merged.poll(guesses=1)
+            assert info.value.reason == "signal"
+        finally:
+            signals.reset()
+
+
+class TestSecondSignalHardExit:
+    def test_second_sigterm_kills_while_asyncio_loop_runs(self):
+        """First SIGTERM during an asyncio loop converts to a graceful
+        stop request; a second SIGTERM restores the default disposition
+        and re-kills, so the process dies instead of looping forever.
+        This is the server operator's escape hatch: one SIGTERM drains,
+        two SIGTERMs always terminate."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        child = (
+            "import asyncio, os, signal\n"
+            "from repro.runtime import signals\n"
+            "\n"
+            "async def main():\n"
+            "    os.kill(os.getpid(), signal.SIGTERM)\n"
+            "    await asyncio.sleep(0)  # let the handler run\n"
+            "    assert signals.requested() == int(signal.SIGTERM)\n"
+            "    print('FIRST-OK', flush=True)\n"
+            "    os.kill(os.getpid(), signal.SIGTERM)\n"
+            "    await asyncio.sleep(5)\n"
+            "    print('NOT-REACHED', flush=True)\n"
+            "\n"
+            "with signals.graceful_shutdown():\n"
+            "    asyncio.run(main())\n"
+            "print('NOT-REACHED', flush=True)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+        proc = subprocess.run(
+            [sys.executable, "-c", child],
+            capture_output=True, text=True, timeout=60, env=env,
+        )
+        assert proc.returncode == -int(_signal.SIGTERM), proc.stderr
+        assert "FIRST-OK" in proc.stdout
+        assert "NOT-REACHED" not in proc.stdout

@@ -68,6 +68,29 @@ class TestRetryPolicy:
         with pytest.raises(ValueError, match=TASK_TIMEOUT_ENV):
             RetryPolicy()
 
+    def test_task_timeout_env_zero_disables(self, monkeypatch):
+        from repro.runtime.retry import TASK_TIMEOUT_ENV
+
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "0")
+        assert RetryPolicy().task_timeout is None
+
+    @pytest.mark.parametrize("value", ["", "   "])
+    def test_task_timeout_env_blank_is_ignored(self, monkeypatch, value):
+        from repro.runtime.retry import TASK_TIMEOUT_ENV
+
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, value)
+        assert RetryPolicy().task_timeout is None
+
+    @pytest.mark.parametrize("value", ["-1", "-0.5", "inf", "nan"])
+    def test_task_timeout_env_rejects_non_finite_or_negative(
+        self, monkeypatch, value
+    ):
+        from repro.runtime.retry import TASK_TIMEOUT_ENV
+
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, value)
+        with pytest.raises(ValueError, match=TASK_TIMEOUT_ENV):
+            RetryPolicy()
+
 
 class TestRetryCall:
     def test_transient_failure_recovers(self):

@@ -1,0 +1,483 @@
+"""Guessing as a service: protocol, admission, job store, live server.
+
+The live-server tests drive a real ``CampaignServer`` over real sockets
+using the chaos harness's thread runner and HTTP helpers — the same
+path ``repro serve`` and the server soak exercise.
+"""
+
+from __future__ import annotations
+
+import json
+import signal as _signal
+import time
+
+import pytest
+
+from repro.generation import DCGenConfig, DCGenerator
+from repro.runtime import chaos, signals
+from repro.server import (
+    AdmissionController,
+    CampaignSpec,
+    JobStore,
+    RequestError,
+    ServerConfig,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory, trained_pagpassgpt):
+    path = tmp_path_factory.mktemp("server-model") / "model.npz"
+    trained_pagpassgpt.save(path)
+    return str(path)
+
+
+def _config(checkpoint: str, state_dir, **overrides) -> ServerConfig:
+    kwargs = dict(
+        checkpoint=checkpoint,
+        state_dir=str(state_dir),
+        port=0,
+        fleet=1,
+        poll_interval=0.02,
+    )
+    kwargs.update(overrides)
+    return ServerConfig(**kwargs)
+
+
+def _wait_terminal(port: int, job_id: int, timeout: float = 120.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, job, _ = chaos._http_json(port, "GET", f"/campaigns/{job_id}")
+        if job["state"] in ("done", "failed", "interrupted"):
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"request {job_id} never reached a terminal state")
+
+
+# ----------------------------------------------------------------------
+# Protocol validation
+# ----------------------------------------------------------------------
+
+class TestProtocol:
+    def test_minimal_generate_payload(self):
+        spec = CampaignSpec.from_payload({"n": 10}, kind="generate")
+        assert spec.kind == "generate"
+        assert spec.n == 10
+        assert spec.strategy == "sampled"
+        assert spec.tenant == "public"
+        assert spec.budget() is None
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            {},  # n is required
+            {"n": 0},
+            {"n": -3},
+            {"n": 10, "strategy": "best_first"},
+            {"n": 10, "bogus_field": 1},  # unknown fields are rejected
+            {"n": 10, "tenant": "no spaces allowed"},
+            {"n": 10, "workers": "two"},
+            {"n": 10, "workers": 99},
+            {"n": 10, "deadline": -5},
+            {"n": 10, "max_guesses": 0},
+            {"n": 10, "seed": True},
+        ],
+    )
+    def test_invalid_generate_payloads(self, payload):
+        with pytest.raises(RequestError) as info:
+            CampaignSpec.from_payload(payload, kind="generate")
+        assert info.value.status == 400
+        assert info.value.code == "invalid_request"
+
+    def test_score_payload_requires_nonempty_lines(self):
+        with pytest.raises(RequestError):
+            CampaignSpec.from_payload({"guesses": [], "test": ["x"]}, kind="score")
+        with pytest.raises(RequestError):
+            CampaignSpec.from_payload({"guesses": ["x"]}, kind="score")
+        spec = CampaignSpec.from_payload(
+            {"guesses": ["a", "b"], "test": ["a"]}, kind="score"
+        )
+        assert spec.guesses == ("a", "b")
+
+    def test_journal_round_trip(self):
+        spec = CampaignSpec.from_payload(
+            {"n": 5, "strategy": "dcgen", "threshold": 16, "seed": 3,
+             "tenant": "t1", "max_guesses": 9, "deadline": 2.5},
+            kind="generate",
+        )
+        assert CampaignSpec.from_journal(spec.to_payload()) == spec
+        # and the payload itself must be JSON-safe
+        json.dumps(spec.to_payload())
+
+    def test_request_budget(self):
+        spec = CampaignSpec.from_payload(
+            {"n": 5, "deadline": 2.5, "max_guesses": 100}, kind="generate"
+        )
+        budget = spec.budget()
+        assert budget.wall_seconds == 2.5
+        assert budget.max_guesses == 100
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+
+class TestTokenBucket:
+    def test_burst_then_exact_refill_wait(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.take() == 0.0
+        assert bucket.take() == 0.0
+        assert bucket.take() == pytest.approx(0.5)  # 1 token / 2 per s
+        clock.t = 0.5
+        assert bucket.take() == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.t = 100.0  # a long idle period must not bank extra tokens
+        assert bucket.take() == 0.0
+        assert bucket.take() == 0.0
+        assert bucket.take() > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmission:
+    def test_draining_outranks_everything(self):
+        ctrl = AdmissionController(clock=FakeClock())
+        with pytest.raises(RequestError) as info:
+            ctrl.admit("t", tenant_queued=0, total_queued=0, draining=True)
+        assert (info.value.status, info.value.code) == (503, "draining")
+        assert info.value.retry_after == 30.0
+
+    def test_global_queue_full_is_503(self):
+        ctrl = AdmissionController(max_queue=4, clock=FakeClock())
+        with pytest.raises(RequestError) as info:
+            ctrl.admit("t", tenant_queued=0, total_queued=4, draining=False)
+        assert (info.value.status, info.value.code) == (503, "queue_full")
+
+    def test_tenant_queue_full_is_429(self):
+        ctrl = AdmissionController(
+            max_queue=64, max_tenant_queue=2, clock=FakeClock()
+        )
+        with pytest.raises(RequestError) as info:
+            ctrl.admit("greedy", tenant_queued=2, total_queued=2, draining=False)
+        assert (info.value.status, info.value.code) == (429, "tenant_queue_full")
+
+    def test_rate_limit_has_exact_retry_after_per_tenant(self):
+        clock = FakeClock()
+        ctrl = AdmissionController(
+            max_queue=64, max_tenant_queue=8, rate=2.0, burst=1.0, clock=clock
+        )
+        ctrl.admit("alice", tenant_queued=0, total_queued=0, draining=False)
+        with pytest.raises(RequestError) as info:
+            ctrl.admit("alice", tenant_queued=0, total_queued=0, draining=False)
+        assert (info.value.status, info.value.code) == (429, "rate_limited")
+        assert info.value.retry_after == pytest.approx(0.5)
+        # every tenant has its own bucket
+        ctrl.admit("bob", tenant_queued=0, total_queued=0, draining=False)
+
+
+# ----------------------------------------------------------------------
+# Job store persistence
+# ----------------------------------------------------------------------
+
+def _spec(n: int = 5, tenant: str = "t") -> CampaignSpec:
+    return CampaignSpec.from_payload({"n": n, "tenant": tenant}, kind="generate")
+
+
+class TestJobStore:
+    def test_admit_is_durable_before_the_ack(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.admit(_spec())
+        # the request is on disk the moment admit() returns
+        raw = (tmp_path / "requests.journal.jsonl").read_text()
+        assert f'"task_id":{job.job_id}' in raw
+        assert '"kind":"request"' in raw and '"state":"queued"' in raw
+        store.close()
+
+    def test_restart_replays_lifecycle_and_recovers(self, tmp_path):
+        store = JobStore(tmp_path)
+        a, b, c, d = (store.admit(_spec()) for _ in range(4))
+        store.set_state(a, "done", guesses=5)
+        store.set_state(b, "running")
+        store.set_state(c, "interrupted", reason="signal", resumable=True)
+        store.close()
+
+        again = JobStore(tmp_path)
+        assert again.jobs[a.job_id].state == "done"
+        assert again.jobs[a.job_id].detail == {"guesses": 5}
+        # queued/running died with the process; interrupted(signal) is a
+        # drain checkpoint — all three must be re-queued, in id order.
+        assert [j.job_id for j in again.to_recover()] == [
+            b.job_id, c.job_id, d.job_id
+        ]
+        e = again.admit(_spec())
+        assert e.job_id == d.job_id + 1  # ids are never reused
+        again.close()
+
+    def test_interrupted_by_deadline_is_terminal(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.admit(_spec())
+        store.set_state(job, "interrupted", reason="deadline")
+        assert job.terminal and not job.resumable
+        assert store.to_recover() == []
+        store.close()
+
+    def test_counts_and_tenant_depths(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.admit(_spec(tenant="a"))
+        store.admit(_spec(tenant="a"))
+        done = store.admit(_spec(tenant="b"))
+        store.set_state(done, "done")
+        assert store.counts()["queued"] == 2
+        assert store.counts()["done"] == 1
+        assert store.queued_by_tenant() == {"a": 2}
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Live server over real sockets
+# ----------------------------------------------------------------------
+
+class TestLiveServer:
+    @pytest.fixture
+    def server(self, checkpoint, tmp_path):
+        runner = chaos._ServerThread(_config(checkpoint, tmp_path / "state"))
+        port = runner.start()
+        yield runner, port
+        if runner.thread.is_alive():
+            runner.drain(timeout=120.0)
+
+    def test_submit_poll_fetch_matches_direct_generation(
+        self, server, trained_pagpassgpt
+    ):
+        _, port = server
+        status, obj, _ = chaos._http_json(
+            port, "POST", "/campaigns", {"n": 40, "seed": 11, "tenant": "alice"}
+        )
+        assert status == 202
+        assert obj["state"] == "queued"
+        job = _wait_terminal(port, obj["id"])
+        assert job["state"] == "done", job
+        assert job["detail"]["guesses"] > 0
+        status, data, _ = chaos._http_request(
+            port, "GET", f"/campaigns/{obj['id']}/guesses"
+        )
+        assert status == 200
+        expected = trained_pagpassgpt.generate(40, seed=11)
+        assert data.decode("utf-8").splitlines() == expected
+
+    def test_score_round_trip(self, server):
+        _, port = server
+        status, obj, _ = chaos._http_json(
+            port, "POST", "/score",
+            {"guesses": ["password", "hunter2", "hunter2"],
+             "test": ["password", "letmein"]},
+        )
+        assert status == 200
+        assert obj["hit_rate"] == pytest.approx(0.5)
+        assert obj["unique_guesses"] == 2
+
+    def test_quota_interruption_is_terminal_and_guesses_409(self, server):
+        _, port = server
+        status, obj, _ = chaos._http_json(
+            port, "POST", "/campaigns", {"n": 500_000, "max_guesses": 64}
+        )
+        assert status == 202
+        job = _wait_terminal(port, obj["id"])
+        assert job["state"] == "interrupted", job
+        assert job["detail"]["reason"] == "guesses"
+        assert job["detail"]["resumable"] is False
+        status, body, _ = chaos._http_json(
+            port, "GET", f"/campaigns/{obj['id']}/guesses"
+        )
+        assert status == 409
+        assert body["error"] == "not_finished"
+
+    def test_corrupt_checkpoint_degrades_that_request_only(
+        self, server, tmp_path
+    ):
+        _, port = server
+        bad = tmp_path / "garbage.npz"
+        bad.write_bytes(b"this is not a checkpoint")
+        status, obj, _ = chaos._http_json(
+            port, "POST", "/campaigns", {"n": 10, "checkpoint": str(bad)}
+        )
+        assert status == 202
+        job = _wait_terminal(port, obj["id"])
+        assert job["state"] == "failed"
+        assert job["detail"]["error"]  # typed, named failure
+        # ...and the server is still healthy for the next request
+        status, obj, _ = chaos._http_json(port, "POST", "/campaigns", {"n": 10})
+        assert status == 202
+        assert _wait_terminal(port, obj["id"])["state"] == "done"
+
+    def test_missing_checkpoint_is_rejected_at_admission(self, server):
+        _, port = server
+        status, body, _ = chaos._http_json(
+            port, "POST", "/campaigns",
+            {"n": 10, "checkpoint": "/nonexistent/model.npz"},
+        )
+        assert status == 400
+        assert body["error"] == "invalid_request"
+
+    def test_http_surface_errors(self, server):
+        _, port = server
+        status, _, _ = chaos._http_request(port, "POST", "/campaigns", timeout=30.0)
+        assert status == 400  # empty body is not JSON
+        status, body, _ = chaos._http_json(port, "GET", "/campaigns/999")
+        assert status == 404 and body["error"] == "not_found"
+        status, body, _ = chaos._http_json(port, "GET", "/nope")
+        assert status == 404
+        status, body, _ = chaos._http_json(port, "POST", "/status")
+        assert status in (404, 405)
+
+    def test_status_metrics_healthz(self, server):
+        _, port = server
+        status, body, _ = chaos._http_json(port, "GET", "/status")
+        assert status == 200
+        assert body["state"] == "serving"
+        assert set(body["jobs"]) == {
+            "queued", "running", "done", "failed", "interrupted"
+        }
+        status, metrics, _ = chaos._http_json(port, "GET", "/metrics")
+        assert status == 200 and isinstance(metrics, dict)
+        status, health, _ = chaos._http_json(port, "GET", "/healthz")
+        assert status == 200 and health["ok"] is True
+
+
+class TestBackpressure:
+    def test_tenant_queue_cap_yields_429_with_retry_after(
+        self, checkpoint, tmp_path
+    ):
+        runner = chaos._ServerThread(
+            _config(checkpoint, tmp_path / "state", max_tenant_queue=1)
+        )
+        port = runner.start()
+        try:
+            status, first, _ = chaos._http_json(
+                port, "POST", "/campaigns",
+                {"n": 200_000, "tenant": "greedy", "seed": 1},
+            )
+            assert status == 202
+            # wait until the fleet picks it up so the queue depth is ours
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                _, body, _ = chaos._http_json(port, "GET", "/status")
+                if body["jobs"]["running"] >= 1:
+                    break
+                time.sleep(0.02)
+            status, _, _ = chaos._http_json(
+                port, "POST", "/campaigns",
+                {"n": 10, "tenant": "greedy", "seed": 2},
+            )
+            assert status == 202  # fills the single tenant-queue slot
+            status, body, retry_after = chaos._http_json(
+                port, "POST", "/campaigns",
+                {"n": 10, "tenant": "greedy", "seed": 3},
+            )
+            assert status == 429
+            assert body["error"] == "tenant_queue_full"
+            assert retry_after is not None and int(retry_after) >= 1
+            # an independent tenant is still admitted
+            status, _, _ = chaos._http_json(
+                port, "POST", "/campaigns", {"n": 10, "tenant": "patient"}
+            )
+            assert status == 202
+        finally:
+            runner.drain(timeout=120.0)
+
+
+class TestDrainAndResume:
+    def test_sigterm_drain_checkpoints_and_restart_resumes_byte_identically(
+        self, checkpoint, tmp_path, trained_pagpassgpt
+    ):
+        state_dir = tmp_path / "state"
+        payload = {"n": 1500, "strategy": "dcgen", "threshold": 32, "seed": 5}
+        runner = chaos._ServerThread(_config(checkpoint, state_dir))
+        port = runner.start()
+        status, obj, _ = chaos._http_json(port, "POST", "/campaigns", payload)
+        assert status == 202
+        job_id = obj["id"]
+        # let the campaign get under way, then stop the way SIGTERM does
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            _, job, _ = chaos._http_json(port, "GET", f"/campaigns/{job_id}")
+            if job["state"] == "running" and job["progress"]["done"] > 0:
+                break
+            if job["state"] in ("done", "failed"):
+                break
+            time.sleep(0.01)
+        signals.request(_signal.SIGTERM)
+        summary = runner.join(timeout=120.0)
+        signals.reset()
+        assert summary["reason"] == "signal"
+
+        # a fresh server over the same state dir must finish the job
+        runner = chaos._ServerThread(_config(checkpoint, state_dir))
+        port = runner.start()
+        try:
+            job = _wait_terminal(port, job_id)
+            assert job["state"] == "done", job
+            _, data, _ = chaos._http_request(
+                port, "GET", f"/campaigns/{job_id}/guesses"
+            )
+            expected = DCGenerator(
+                trained_pagpassgpt, DCGenConfig(threshold=32, workers=1)
+            ).generate(1500, seed=5)
+            assert data.decode("utf-8") == "\n".join(expected) + "\n"
+        finally:
+            runner.drain(timeout=120.0)
+
+    def test_draining_server_rejects_new_work_with_503(
+        self, checkpoint, tmp_path
+    ):
+        runner = chaos._ServerThread(_config(checkpoint, tmp_path / "state"))
+        port = runner.start()
+        runner.server.draining = True  # poke the flag the drain path sets
+        try:
+            status, body, retry_after = chaos._http_json(
+                port, "POST", "/campaigns", {"n": 10}
+            )
+            assert status == 503
+            assert body["error"] == "draining"
+            assert retry_after is not None
+        finally:
+            runner.server.draining = False
+            runner.drain(timeout=120.0)
+
+
+class TestServerSoak:
+    def test_seeded_soak_holds_all_invariants(self, checkpoint, tmp_path):
+        report = chaos.run_server_soak(
+            checkpoint,
+            tmp_path / "soak",
+            base_seed=0,
+            n_requests=3,
+            clients=2,
+            n=120,
+        )
+        assert report.ok, report.failures
+        assert len(report.outcomes) == 3
+        assert len(report.drains) == 2  # one per server lifetime
+        for outcome in report.outcomes:
+            if outcome.state == "done":
+                assert outcome.identical is True
+                assert outcome.check_ok is True
+        # the report is JSON-serializable for soak-report.json
+        json.dumps(report.to_dict())
