@@ -1,0 +1,166 @@
+"""Telemetry overhead benchmark: tracing/profiling must stay cheap.
+
+Runs the same deterministic D&C-GEN campaign (identical model, seed,
+and plan as ``bench_throughput.py``) three times:
+
+* **untraced** — no telemetry session at all (the baseline);
+* **traced** — inside a full ``--telemetry``-equivalent JSONL session
+  (spans, events, metric deltas);
+* **traced+profiled** — the traced run with the 5 ms sampling
+  wall-clock profiler armed on top.
+
+and writes ``BENCH_telemetry_overhead.json`` at the repo root with the
+relative overhead of each instrumented mode.  Each mode runs
+``--repeats`` times and the *minimum* wall-clock is kept — the usual
+best-of-N guard against scheduler noise, which matters here because the
+quantity under test is a small difference between large numbers.
+
+Correctness gate (always on): all three guess streams must be
+byte-identical — instrumentation that perturbs the stream is a bug, not
+an overhead.  ``--check`` additionally fails the run when the traced
+overhead exceeds ``--max-overhead`` percent (default 5, the budget
+pinned in the PR's acceptance criteria).  The profiled overhead is
+recorded but not gated: signal-interrupt cost is platform-dependent.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+        [--scale tiny|standard] [--repeats N] [--check]
+        [--max-overhead PCT] [--out BENCH_telemetry_overhead.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from bench_throughput import MODEL_SPEC, PATTERN_PROBS, SCALES, SEED, build_model
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_campaign(scale: dict) -> list[str]:
+    """One full D&C-GEN campaign; fresh model each time (no warm cache)."""
+    from repro.generation import DCGenConfig, DCGenerator
+
+    model = build_model()
+    generator = DCGenerator(model, DCGenConfig(threshold=scale["threshold"]))
+    return generator.generate(scale["total"], seed=SEED)
+
+
+def measure(scale: dict, mode: str, repeats: int) -> dict:
+    """Best-of-``repeats`` wall-clock for one instrumentation mode."""
+    from repro import telemetry
+
+    times = []
+    stream = None
+    for _ in range(repeats):
+        tele_dir = Path(tempfile.mkdtemp(prefix=f"repro-overhead-{mode}-"))
+        try:
+            if mode == "untraced":
+                t0 = time.perf_counter()
+                stream = run_campaign(scale)
+                times.append(time.perf_counter() - t0)
+            else:
+                profiler = (
+                    telemetry.SamplingProfiler() if mode == "traced+profiled" else None
+                )
+                t0 = time.perf_counter()
+                with telemetry.session(tele_dir, run_id=f"overhead-{mode}"):
+                    if profiler is not None:
+                        profiler.start()
+                    try:
+                        stream = run_campaign(scale)
+                    finally:
+                        if profiler is not None:
+                            profiler.stop()
+                times.append(time.perf_counter() - t0)
+        finally:
+            shutil.rmtree(tele_dir, ignore_errors=True)
+    return {
+        "seconds": round(min(times), 4),
+        "all_seconds": [round(t, 4) for t in times],
+        "guesses": len(stream),
+        "stream": stream,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="standard")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per mode; the minimum wall-clock is kept")
+    parser.add_argument("--max-overhead", type=float, default=5.0, metavar="PCT",
+                        help="(--check) maximum tolerated traced overhead")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_telemetry_overhead.json")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) on stream divergence or when the "
+                             "traced overhead exceeds --max-overhead percent")
+    args = parser.parse_args()
+    scale = SCALES[args.scale]
+    np.seterr(all="ignore")
+
+    modes = ("untraced", "traced", "traced+profiled")
+    results = {}
+    for mode in modes:
+        results[mode] = measure(scale, mode, args.repeats)
+        print(f"{mode:16s} {results[mode]['seconds']}s "
+              f"(all: {results[mode]['all_seconds']})")
+
+    baseline = results["untraced"]["seconds"]
+    overhead = {
+        mode: round(100.0 * (results[mode]["seconds"] - baseline) / baseline, 2)
+        for mode in modes[1:]
+    }
+    streams_identical = all(
+        results[mode]["stream"] == results["untraced"]["stream"] for mode in modes[1:]
+    )
+
+    report = {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "config": {**scale, "model": MODEL_SPEC,
+                   "pattern_probs": PATTERN_PROBS, "seed": SEED},
+        "seconds": {mode: results[mode]["seconds"] for mode in modes},
+        "all_seconds": {mode: results[mode]["all_seconds"] for mode in modes},
+        "guesses": results["untraced"]["guesses"],
+        "overhead_pct": overhead,
+        "streams_identical": streams_identical,
+        "max_overhead_pct": args.max_overhead,
+    }
+    existing = {}
+    if args.out.exists():
+        try:
+            existing = json.loads(args.out.read_text())
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+    existing[f"latest_{args.scale}"] = report
+    args.out.write_text(json.dumps(existing, indent=1) + "\n")
+
+    print(f"overhead: traced {overhead['traced']:+.2f}%  "
+          f"traced+profiled {overhead['traced+profiled']:+.2f}%  "
+          f"(streams identical: {streams_identical})")
+    print(f"wrote {args.out}")
+
+    failures = []
+    if not streams_identical:
+        failures.append("instrumented guess stream diverges from untraced baseline")
+    if args.check and overhead["traced"] > args.max_overhead:
+        failures.append(
+            f"traced overhead {overhead['traced']}% exceeds "
+            f"{args.max_overhead}% budget"
+        )
+    for failure in failures:
+        print(f"CHECK FAILED: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -281,6 +281,11 @@ def main() -> int:
         help="telemetry trace directory (default: fresh temp dir)",
     )
     parser.add_argument(
+        "--profile", type=Path, default=None, metavar="FILE",
+        help="sample the wall-clock during the run and write folded "
+             "flamegraph stacks to FILE (span-attributed)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="fail (exit 1) on deterministic perf regressions",
@@ -293,9 +298,20 @@ def main() -> int:
 
     tele_dir = args.telemetry or Path(tempfile.mkdtemp(prefix="repro-bench-telemetry-"))
     np.seterr(all="ignore")
+    profiler = telemetry.SamplingProfiler() if args.profile else None
     with telemetry.session(tele_dir, run_id=f"bench-{args.scale}-{args.backend}"):
-        dcgen = bench_dcgen(scale)
-        free = bench_free(scale)
+        if profiler is not None:
+            profiler.start()
+        try:
+            dcgen = bench_dcgen(scale)
+            free = bench_free(scale)
+        finally:
+            if profiler is not None:
+                profiler.stop()  # inside the session: the profile event lands in-stream
+    if profiler is not None:
+        profiler.write(args.profile)
+        print(f"profile: {profiler.sample_count} samples -> {args.profile} "
+              f"(top spans: {profiler.top_spans(3)})")
     tele_summary = telemetry.summarize_campaign(tele_dir)
     spans = tele_summary["spans"]
     dcgen["span_phase_seconds"] = {

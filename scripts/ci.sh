@@ -27,6 +27,14 @@
 #    `--backend compiled` and demands the byte-identical stream, then
 #    gates the compiled tiny bench.  Soft-skipped (with a visible
 #    notice) when no C compiler is on PATH.
+# 7. Observability smoke (ISSUE 10): a traced+profiled 2-worker campaign
+#    must stay byte-identical, pass `summarize --check`, and export to a
+#    single connected chrome-trace tree (`export --check`); the overhead
+#    bench records traced-vs-untraced cost into
+#    BENCH_telemetry_overhead.json (stream-identity gated, wall-clock
+#    recorded only); a live `repro serve` is scraped for Prometheus
+#    exposition and rendered once by `repro top` before its SIGTERM
+#    drain.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -177,3 +185,61 @@ kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"
 test -s "$SMOKE_DIR/server-state/requests.journal.jsonl"
 echo "serve smoke: SIGTERM drain exits 0"
+
+# ----------------------------------------------------------------------
+# Observability smoke (ISSUE 10): tracing + profiling + exposition.
+# ----------------------------------------------------------------------
+# A traced AND profiled 2-worker campaign still emits the byte-identical
+# stream, its merged summary passes --check, the folded profile is
+# non-empty, and the exported chrome-trace is one connected tree
+# spanning the parent and worker pids.
+python -m repro.cli "${GEN_ARGS[@]}" --out "$SMOKE_DIR/profiled.txt" \
+    --telemetry "$SMOKE_DIR/obs-tele" --profile "$SMOKE_DIR/profile.folded"
+diff "$SMOKE_DIR/clean_run.txt" "$SMOKE_DIR/profiled.txt"
+test -s "$SMOKE_DIR/profile.folded"
+python -m repro.cli telemetry summarize "$SMOKE_DIR/obs-tele" --check
+python -m repro.cli telemetry export "$SMOKE_DIR/obs-tele" \
+    --format chrome-trace --out "$SMOKE_DIR/trace.json" --check
+test -s "$SMOKE_DIR/trace.json"
+echo "observability smoke: traced+profiled campaign byte-identical, trace tree connected"
+
+# Overhead bench: records traced / traced+profiled cost next to the
+# untraced baseline and hard-gates on stream identity.  Wall-clock
+# overhead is recorded, not gated, at tiny scale (too noisy for CI);
+# the committed standard-scale artifact carries the <=5% result.
+python benchmarks/bench_telemetry_overhead.py --scale tiny --repeats 2 \
+    --out "$SMOKE_DIR/BENCH_telemetry_overhead.json"
+test -s "$SMOKE_DIR/BENCH_telemetry_overhead.json"
+echo "observability smoke: telemetry overhead recorded, streams identical"
+
+# Prometheus exposition + repro top against a live server.  The
+# ephemeral port is parsed from the serve banner; the scrape uses
+# stdlib urllib (curl is not guaranteed in the container).
+python -m repro.cli serve --checkpoint "$SMOKE_DIR/model.npz" \
+    --state-dir "$SMOKE_DIR/obs-server-state" --port 0 --fleet 1 \
+    2> "$SMOKE_DIR/serve.log" &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+    grep -q "serving on" "$SMOKE_DIR/serve.log" && break
+    kill -0 "$SERVER_PID" || { cat "$SMOKE_DIR/serve.log" >&2; exit 1; }
+    sleep 0.2
+done
+PORT=$(sed -n 's|.*serving on http://[^:]*:\([0-9]*\).*|\1|p' "$SMOKE_DIR/serve.log" | head -1)
+test -n "$PORT" || { echo "observability smoke: no port in serve banner" >&2; exit 1; }
+python - "$PORT" <<'PY'
+import sys
+from urllib.request import urlopen
+
+port = sys.argv[1]
+with urlopen(f"http://127.0.0.1:{port}/metrics?format=prometheus", timeout=10) as r:
+    assert r.headers["Content-Type"].startswith("text/plain; version=0.0.4"), r.headers
+    text = r.read().decode()
+assert "# TYPE" in text and "repro_" in text, text[:400]
+with urlopen(f"http://127.0.0.1:{port}/metrics", timeout=10) as r:
+    assert r.headers["Content-Type"].startswith("application/json")
+print("prometheus exposition scrape ok")
+PY
+python -m repro.cli top --url "http://127.0.0.1:$PORT" --once | grep -q "state: serving"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+echo "observability smoke: prometheus scrape + repro top ok, drain clean"

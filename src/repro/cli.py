@@ -9,10 +9,12 @@ Subcommands::
     repro train     train PagPassGPT / PassGPT   -> checkpoint.npz
     repro generate  guesses from a checkpoint (guided / free / D&C-GEN)
     repro evaluate  hit rate, repeat rate, distances of a guess file
-    repro telemetry summarize a campaign telemetry directory
+    repro telemetry summarize / export a campaign telemetry directory
     repro verify    integrity-check checkpoints/journals/manifests
     repro chaos     randomized fault-injection sweep (crash anywhere,
                     resume exactly)
+    repro serve     guessing-as-a-service campaign server
+    repro top       live TTY view of a running server (/status+/metrics)
 
 Example end-to-end session::
 
@@ -27,8 +29,11 @@ Example end-to-end session::
 
 Observability: ``--telemetry DIR`` on ``train``/``generate`` records a
 structured JSONL trace (events, spans, metrics; one stream per process)
-and a merged ``campaign-summary.json``; ``--heartbeat`` draws a live
-progress line; ``--log-level`` / ``REPRO_LOG`` control stderr verbosity.
+and a merged ``campaign-summary.json``; ``--profile FILE`` samples the
+wall-clock into a folded flamegraph; ``repro telemetry export`` stitches
+every stream into one Chrome trace-event file; ``--heartbeat`` draws a
+live progress line; ``--log-level`` / ``REPRO_LOG`` control stderr
+verbosity.
 
 Lifecycle: ``--deadline`` / ``--max-guesses`` / ``--max-model-calls``
 stop a campaign gracefully at a budget boundary, and SIGTERM/SIGINT take
@@ -121,6 +126,36 @@ def _finish_telemetry(args: argparse.Namespace, started: bool) -> None:
     print(telemetry.render_summary(summary), file=sys.stderr)
 
 
+def _start_profiler(args: argparse.Namespace) -> Optional[telemetry.SamplingProfiler]:
+    """Arm the sampling profiler when ``--profile FILE`` was given."""
+    if not getattr(args, "profile", None):
+        return None
+    profiler = telemetry.SamplingProfiler()
+    profiler.start()
+    return profiler
+
+
+def _finish_profiler(
+    args: argparse.Namespace, profiler: Optional[telemetry.SamplingProfiler]
+) -> None:
+    """Disarm and write the folded flamegraph stacks.
+
+    Called *before* the telemetry session closes so the ``profile``
+    summary event lands inside the campaign's stream.
+    """
+    if profiler is None:
+        return
+    profiler.stop()
+    out = profiler.write(args.profile)
+    top = ", ".join(f"{name}={count}" for name, count in profiler.top_spans(3))
+    print(
+        f"profile: {profiler.sample_count} samples "
+        f"({len(profiler.samples)} stacks) -> {out}"
+        + (f"  [{top}]" if top else ""),
+        file=sys.stderr,
+    )
+
+
 # ----------------------------------------------------------------------
 # Subcommand implementations (each returns a process exit code)
 # ----------------------------------------------------------------------
@@ -206,6 +241,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         else:
             print(f"no training state at {state_path}; starting fresh", file=sys.stderr)
     started = _start_telemetry(args, run_id="train")
+    profiler = _start_profiler(args)
     try:
         model.fit(
             build_corpus(train_passwords),
@@ -216,6 +252,7 @@ def cmd_train(args: argparse.Namespace) -> int:
             budget=Budget(wall_seconds=args.deadline),
         )
     finally:
+        _finish_profiler(args, profiler)
         _finish_telemetry(args, started)
     model.save(args.out)
     Path(state_path).unlink(missing_ok=True)  # campaign finished
@@ -246,6 +283,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
         max_model_calls=args.max_model_calls,
     )
     started = _start_telemetry(args, run_id="generate")
+    profiler = _start_profiler(args)
     heartbeat = telemetry.Heartbeat(
         args.n, enabled=True if args.heartbeat else None
     )
@@ -301,6 +339,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
             guesses = model.generate(args.n, seed=args.seed)
     finally:
         heartbeat.close()
+        _finish_profiler(args, profiler)
         _finish_telemetry(args, started)
     _write_lines(args.out, guesses)
     journal_path.unlink(missing_ok=True)  # campaign finished; journal spent
@@ -348,6 +387,37 @@ def cmd_telemetry_summarize(args: argparse.Namespace) -> int:
             return 1
         print("all campaign invariants hold", file=sys.stderr)
     return 0
+
+
+def cmd_telemetry_export(args: argparse.Namespace) -> int:
+    directory = Path(args.dir)
+    if not telemetry.campaign_files(directory):
+        print(f"error: no telemetry streams found in {directory}", file=sys.stderr)
+        return 2
+    out = Path(args.out) if args.out else directory / "trace.json"
+    path, trace, failures = telemetry.export_chrome_trace(
+        directory, out, check=args.check
+    )
+    meta = trace.get("otherData", {})
+    print(
+        f"wrote {meta.get('spans', 0)} span(s) across "
+        f"{len(meta.get('pids', []))} process(es) from "
+        f"{len(meta.get('streams', []))} stream(s) to {path}",
+        file=sys.stderr,
+    )
+    if args.check:
+        for failure in failures:
+            print(f"check failed: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("trace forms a single connected tree", file=sys.stderr)
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .server.top import run_top
+
+    return run_top(args.url, interval=args.interval, once=args.once)
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -472,8 +542,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return await server.serve_forever()
 
-    with signals.graceful_shutdown():
-        summary = asyncio.run(_serve())
+    profiler = _start_profiler(args)
+    try:
+        with signals.graceful_shutdown():
+            summary = asyncio.run(_serve())
+    finally:
+        _finish_profiler(args, profiler)
     jobs = {k: v for k, v in summary["jobs"].items() if v}
     print(f"drained ({summary['reason']}): {jobs or 'no jobs'}", file=sys.stderr)
     return EXIT_INTERRUPTED if summary["reason"] == "deadline" else EXIT_OK
@@ -499,6 +573,10 @@ def _add_observability_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--log-level", default=None, choices=sorted(telemetry.LEVELS),
                    help="stderr verbosity for telemetry events "
                         "(default: $REPRO_LOG or warning)")
+    p.add_argument("--profile", default=None, metavar="FILE",
+                   help="sample the wall-clock (setitimer) while the command "
+                        "runs and write folded flamegraph stacks to FILE; "
+                        "each sample is attributed to the open span")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -627,6 +705,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="verify deterministic campaign invariants "
                         "(exit 1 on violation)")
     s.set_defaults(fn=cmd_telemetry_summarize)
+    s = tsub.add_parser(
+        "export",
+        help="stitch every stream into one Chrome trace-event file "
+             "(open in chrome://tracing or Perfetto)",
+    )
+    s.add_argument("dir", help="telemetry directory written by --telemetry")
+    s.add_argument("--out", default=None,
+                   help="output path (default: <dir>/trace.json)")
+    s.add_argument("--format", choices=("chrome-trace",), default="chrome-trace",
+                   help="export format (only chrome-trace today)")
+    s.add_argument("--check", action="store_true",
+                   help="verify the exported spans form a single connected "
+                        "tree across all processes (exit 1 on violation)")
+    s.set_defaults(fn=cmd_telemetry_export)
 
     p = sub.add_parser(
         "verify",
@@ -706,7 +798,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record a per-job telemetry session under each "
                         "job directory (forces --fleet 1: sessions are "
                         "process-global)")
+    p.add_argument("--profile", default=None, metavar="FILE",
+                   help="sample the server's wall-clock while it runs and "
+                        "write folded flamegraph stacks to FILE on drain")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="live TTY view of a running campaign server (/status + /metrics)",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8157",
+                   help="server base URL (default: http://127.0.0.1:8157)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh period in seconds")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit (no screen clearing)")
+    p.set_defaults(fn=cmd_top)
 
     return parser
 

@@ -459,8 +459,13 @@ class DCGenerator:
                     "n_batches": len(batches),
                     "plan": plan_digest(leaves),
                 }
+                telemetry.pin_trace(header)
                 journal = RunJournal.attach(journal, header, resume=resume)
                 owns_journal = True
+                # A resumed run rejoins the original run's trace so its
+                # spans extend the first attempt's tree; fresh runs
+                # adopt their own pinned ref (a no-op).
+                telemetry.rejoin_trace(journal.header.get(RunJournal.TRACE_HEADER_KEY))
             try:
                 results = self._execute(batches, seed, journal, progress, budget)
             finally:

@@ -322,8 +322,10 @@ class OrderedGenerator:
                     "max_frontier": int(self.config.max_frontier),
                     "prompts": prompts_digest(self.prompts),
                 }
+                telemetry.pin_trace(header)
                 journal = RunJournal.attach(journal, header, resume=resume)
                 owns_journal = True
+                telemetry.rejoin_trace(journal.header.get(RunJournal.TRACE_HEADER_KEY))
             try:
                 return self._run(n, journal, progress, budget)
             finally:

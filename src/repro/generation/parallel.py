@@ -88,27 +88,40 @@ def _check_crash_hook() -> None:
         raise RuntimeError(f"worker crash injected via {CRASH_ENV}")
 
 
-def _parent_telemetry_args() -> Optional[tuple[str, str, str]]:
-    """Session init args to ship to workers, or ``None`` (telemetry off)."""
+def _parent_telemetry_args() -> Optional[tuple[str, str, str, Optional[dict]]]:
+    """Session init args to ship to workers, or ``None`` (telemetry off).
+
+    The trace ref pins the worker session into the parent's trace: its
+    root spans attach under whatever span is open at pool start (the
+    campaign span), so the merged streams form one connected tree.
+    """
     sess = telemetry.active()
     if sess is None:
         return None
-    return (str(sess.dir), sess.run_id, sess.level)
+    return (str(sess.dir), sess.run_id, sess.level, sess.trace_ref())
 
 
-def _init_worker_telemetry(tele: Optional[tuple[str, str, str]]) -> None:
+def _init_worker_telemetry(tele: Optional[tuple[str, str, str, Optional[dict]]]) -> None:
     """Open this worker's own ``telemetry-worker-<pid>.jsonl`` stream.
 
     Replaces any session inherited via fork (the parent's stream must
     only ever be written by the parent) and marks the metrics registry,
-    so everything the worker reports is its own delta.
+    so everything the worker reports is its own delta.  The shipped
+    trace ref (works for fork and spawn alike — it rides the initargs)
+    makes the worker a remote child of the parent's campaign span.
     """
     if tele is not None:
-        directory, run_id, level = tele
-        telemetry.start_session(directory, run_id=run_id, worker=os.getpid(), level=level)
+        directory, run_id, level, trace = tele
+        telemetry.start_session(
+            directory,
+            run_id=run_id,
+            worker=os.getpid(),
+            level=level,
+            context=telemetry.TraceContext.from_dict(trace),
+        )
 
 
-def _init_fork_worker(tele: Optional[tuple[str, str, str]]) -> None:
+def _init_fork_worker(tele: Optional[tuple[str, str, str, Optional[dict]]]) -> None:
     """Pool initializer for the fork path (model arrives copy-on-write)."""
     signals.ignore_in_worker()
     _init_worker_telemetry(tele)

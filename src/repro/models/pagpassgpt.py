@@ -309,8 +309,10 @@ class PagPassGPT(PatternGuidedGuesser):
             if journal is not None and not isinstance(journal, RunJournal):
                 header = {"kind": "free", "seed": int(seed), "n": int(n),
                           "gen_batch": int(GEN_BATCH), "n_chunks": len(chunks)}
+                telemetry.pin_trace(header)
                 journal = RunJournal.attach(journal, header, resume=resume)
                 owns_journal = True
+                telemetry.rejoin_trace(journal.header.get(RunJournal.TRACE_HEADER_KEY))
             try:
                 return self._generate_free(
                     chunks, seed, workers, journal, progress, budget

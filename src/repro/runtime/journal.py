@@ -125,20 +125,32 @@ class RunJournal:
                 os.fsync(fh.fileno())
         return cls(path, header, records, recovered=len(lines) - good)
 
+    #: Header key reserved for the pinned telemetry trace.  It names the
+    #: *observation* of a run, not its identity: a resumed process has a
+    #: fresh trace ref (or none, if re-run without telemetry), yet must
+    #: still attach — it then *adopts* the stored trace so its spans
+    #: rejoin the original tree (:func:`repro.telemetry.rejoin_trace`).
+    TRACE_HEADER_KEY = "trace"
+
     @classmethod
     def attach(cls, path: str | Path, header: dict, resume: bool = False) -> "RunJournal":
         """Open-and-validate when resuming, otherwise start fresh.
 
-        On resume the stored header must equal ``header`` exactly; a
-        mismatch means the journal belongs to a different run.
+        On resume the stored header must equal ``header`` exactly
+        (excluding :data:`TRACE_HEADER_KEY`); a mismatch means the
+        journal belongs to a different run.
         """
         path = Path(path)
+
+        def identity(h: dict) -> dict:
+            return {k: v for k, v in h.items() if k != cls.TRACE_HEADER_KEY}
+
         if resume and path.exists():
             journal = cls.open(path)
-            if journal.header != header:
+            if identity(journal.header) != identity(header):
                 stored = journal.header
                 journal.close()
-                keys = sorted(set(stored) | set(header))
+                keys = sorted(set(identity(stored)) | set(identity(header)))
                 diffs = ", ".join(
                     f"{k}: journal={stored.get(k)!r} != run={header.get(k)!r}"
                     for k in keys

@@ -237,7 +237,7 @@ class CampaignServer:
     # ------------------------------------------------------------------
     # Submission (event loop only)
     # ------------------------------------------------------------------
-    def _admit(self, spec: CampaignSpec) -> Job:
+    def _admit(self, spec: CampaignSpec, trace: Optional[dict] = None) -> Job:
         if spec.kind == "generate" and spec.checkpoint is not None:
             if not Path(spec.checkpoint).exists():
                 raise RequestError(
@@ -250,18 +250,25 @@ class CampaignServer:
             total_queued=sum(queued.values()),
             draining=self.draining,
         )
-        job = self.store.admit(spec)
+        # Every admitted request owns a trace: the caller's (propagated
+        # via ``traceparent``) or a freshly minted one.  Journaled with
+        # the request, it survives crash recovery, and the job's
+        # telemetry session adopts it — so one id follows the request
+        # from the socket through the fleet slot into forked workers.
+        if trace is None:
+            trace = telemetry.TraceContext.new().to_dict()
+        job = self.store.admit(spec, trace=trace)
         self._update_gauges()
         return job
 
-    def submit_generate(self, payload: object) -> Job:
+    def submit_generate(self, payload: object, trace: Optional[dict] = None) -> Job:
         """Validate + admit + enqueue a campaign; returns the queued job."""
         spec = CampaignSpec.from_payload(payload, kind="generate")
-        job = self._admit(spec)
+        job = self._admit(spec, trace=trace)
         self._queue.put_nowait(job)
         return job
 
-    async def submit_score(self, payload: object) -> dict:
+    async def submit_score(self, payload: object, trace: Optional[dict] = None) -> dict:
         """Validate + admit + execute a scoring request synchronously.
 
         Scoring shares the admission gate and the journaled lifecycle,
@@ -270,7 +277,7 @@ class CampaignServer:
         and the response carries the metrics directly.
         """
         spec = CampaignSpec.from_payload(payload, kind="score")
-        job = self._admit(spec)
+        job = self._admit(spec, trace=trace)
         state, detail = await self._execute(job)
         if state != "done":
             raise RequestError(500, detail.get("error", "failed"),
@@ -313,6 +320,16 @@ class CampaignServer:
             self._inflight -= 1
         self.store.set_state(job, state, **detail)
         self._registry.counter(f"server.jobs_{state}").inc()
+        # Labeled variant for Prometheus scrapes: per-tenant/strategy
+        # outcome counts without exploding the flat JSON namespace.
+        self._registry.counter(
+            "server.jobs_finished",
+            labels={
+                "state": state,
+                "tenant": str(job.spec.tenant),
+                "strategy": str(job.spec.strategy or job.spec.kind),
+            },
+        ).inc()
         telemetry.emit("server_job_finished", job=job.job_id, state=state)
         self._update_gauges()
         return state, detail
@@ -362,9 +379,16 @@ class CampaignServer:
         # the campaign at its next durable boundary.
         budget = Budget.merge(self.budget, spec.budget()) or Budget()
 
+        # Structured heartbeat: `/status` reads job.progress live; the
+        # (TTY-disabled) Heartbeat additionally emits throttled
+        # `heartbeat` telemetry events so a traced job's stream shows
+        # rate/ETA even though the server runs headless.
+        heartbeat = telemetry.Heartbeat(spec.n or 0, enabled=False)
+
         def progress(done: int, total: int) -> None:
             job.progress["done"] = int(done)
             job.progress["total"] = int(total)
+            heartbeat.update(int(done), int(total))
 
         session_dir = None
         if self.config.job_telemetry:
@@ -380,7 +404,15 @@ class CampaignServer:
             # actuals beat the plan.
             if hasattr(model, "invalidate_inference"):
                 model.invalidate_inference()
-            telemetry.start_session(session_dir, run_id=f"job-{job.job_id}")
+            # The session joins the request's trace (minted at admit or
+            # received via ``traceparent``): its campaign span becomes a
+            # remote child of the caller's span, and pool workers chain
+            # under it — one connected tree per request.
+            telemetry.start_session(
+                session_dir,
+                run_id=f"job-{job.job_id}",
+                context=telemetry.TraceContext.from_dict(job.trace),
+            )
         try:
             guesses = self._dispatch(model, spec, journal, resume, progress, budget)
         finally:
@@ -460,3 +492,7 @@ class CampaignServer:
     def metrics(self) -> dict:
         """The ``/metrics`` payload: the full registry snapshot."""
         return self._registry.snapshot()
+
+    def metrics_prometheus(self) -> str:
+        """``/metrics?format=prometheus``: text exposition (0.0.4)."""
+        return telemetry.render_prometheus(self._registry)

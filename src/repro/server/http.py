@@ -15,7 +15,15 @@ Endpoints::
     POST /score                synchronous scoring      -> 200 {hit_rate,...}
     GET  /status               server state, queue depths, heartbeats
     GET  /metrics              metrics-registry snapshot (JSON)
+    GET  /metrics?format=prometheus   text exposition (0.0.4) for scrapers
     GET  /healthz              liveness (also 200 while draining)
+
+Submissions honour an incoming W3C ``traceparent`` header: the request
+joins the caller's distributed trace instead of minting its own, and
+the trace ref is journaled with the request so even a crash-recovered
+job still reports under the original trace id.  Every request's wall
+time is observed into a per-route ``server.request_ms`` histogram
+(visible in both metrics formats).
 """
 
 from __future__ import annotations
@@ -23,9 +31,12 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import time
 from email.utils import formatdate
-from typing import Optional
+from typing import Dict, Optional
+from urllib.parse import parse_qs
 
+from .. import telemetry
 from .protocol import RequestError
 
 MAX_HEADER_BYTES = 64 * 1024
@@ -71,7 +82,7 @@ def _json_response(status: int, payload: object, retry_after: Optional[float] = 
 
 
 async def _read_request(reader: asyncio.StreamReader):
-    """Parse one request; returns ``(method, path, body)`` or ``None`` on EOF."""
+    """Parse one request → ``(method, path, query, headers, body)``; EOF → ``None``."""
     try:
         head = await reader.readuntil(b"\r\n\r\n")
     except asyncio.IncompleteReadError as exc:
@@ -103,7 +114,9 @@ async def _read_request(reader: asyncio.StreamReader):
     if length < 0 or length > MAX_BODY_BYTES:
         raise _HttpError(413, "body_too_large", f"body of {length} bytes refused")
     body = await reader.readexactly(length) if length else b""
-    return method.upper(), target.split("?", 1)[0], body
+    path, _, query_string = target.partition("?")
+    query = {k: v[-1] for k, v in parse_qs(query_string).items()}
+    return method.upper(), path, query, headers, body
 
 
 def _decode_json(body: bytes) -> object:
@@ -123,11 +136,46 @@ def _job_or_404(server, ident: str):
     return job
 
 
-async def _route(server, method: str, path: str, body: bytes) -> bytes:
+def _incoming_trace(headers: Dict[str, str]) -> Optional[dict]:
+    """The caller's trace ref from a ``traceparent`` header, if valid."""
+    context = telemetry.TraceContext.from_traceparent(headers.get("traceparent"))
+    if context is None:
+        return None
+    ref = {"trace_id": context.trace_id}
+    if context.parent_span_id is not None:
+        ref["span_id"] = context.parent_span_id
+    return ref
+
+
+def route_label(path: str) -> str:
+    """Normalised route for the per-route request histogram.
+
+    Ids collapse to ``{id}`` and unknown paths to ``other`` so the
+    metric's label cardinality is bounded by the route table, never by
+    traffic shape.
+    """
+    parts = [p for p in path.split("/") if p]
+    if not parts:
+        return "/"
+    if parts[0] == "campaigns":
+        if len(parts) == 1:
+            return "/campaigns"
+        if len(parts) == 2:
+            return "/campaigns/{id}"
+        if len(parts) == 3 and parts[2] == "guesses":
+            return "/campaigns/{id}/guesses"
+    if len(parts) == 1 and parts[0] in ("score", "status", "metrics", "healthz"):
+        return f"/{parts[0]}"
+    return "other"
+
+
+async def _route(
+    server, method: str, path: str, query: Dict[str, str], headers: Dict[str, str], body: bytes
+) -> bytes:
     parts = [p for p in path.split("/") if p]
     if parts == ["campaigns"]:
         if method == "POST":
-            job = server.submit_generate(_decode_json(body))
+            job = server.submit_generate(_decode_json(body), trace=_incoming_trace(headers))
             return _json_response(
                 202,
                 {"id": job.job_id, "state": job.state, "href": f"/campaigns/{job.job_id}"},
@@ -159,10 +207,18 @@ async def _route(server, method: str, path: str, body: bytes) -> bytes:
     if parts == ["score"]:
         if method != "POST":
             raise _HttpError(405, "method_not_allowed", f"{method} not supported here")
-        return _json_response(200, await server.submit_score(_decode_json(body)))
+        return _json_response(
+            200, await server.submit_score(_decode_json(body), trace=_incoming_trace(headers))
+        )
     if parts == ["status"] and method == "GET":
         return _json_response(200, server.status())
     if parts == ["metrics"] and method == "GET":
+        if query.get("format") == "prometheus":
+            return _render(
+                200,
+                server.metrics_prometheus().encode("utf-8"),
+                telemetry.PROMETHEUS_CONTENT_TYPE,
+            )
         return _json_response(200, server.metrics())
     if parts == ["healthz"] and method == "GET":
         return _json_response(200, {"ok": True, "draining": server.draining})
@@ -172,11 +228,14 @@ async def _route(server, method: str, path: str, body: bytes) -> bytes:
 async def handle_connection(server, reader, writer) -> None:
     """One connection, one request, typed errors, never a traceback."""
     response: Optional[bytes] = None
+    label = "unparsed"
+    started = time.perf_counter()
     try:
         parsed = await asyncio.wait_for(_read_request(reader), REQUEST_TIMEOUT)
         if parsed is not None:
-            method, path, body = parsed
-            response = await _route(server, method, path, body)
+            method, path, query, headers, body = parsed
+            label = route_label(path)
+            response = await _route(server, method, path, query, headers, body)
     except RequestError as exc:  # admission/validation: typed + Retry-After
         response = _json_response(exc.status, exc.to_payload(), exc.retry_after)
     except _HttpError as exc:
@@ -187,6 +246,11 @@ async def handle_connection(server, reader, writer) -> None:
         response = _json_response(
             500, {"error": "internal", "message": f"{type(exc).__name__}: {exc}"}
         )
+    if response is not None:
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        telemetry.get_registry().histogram(
+            "server.request_ms", labels={"route": label}
+        ).observe(elapsed_ms)
     try:
         if response is not None:
             writer.write(response)

@@ -49,6 +49,11 @@ class Job:
     #: progress callback and surfaced on ``/status`` as the heartbeat.
     progress: dict = field(default_factory=lambda: {"done": 0, "total": 0})
     started_at: Optional[float] = None
+    #: Pinned trace ref (``{"trace_id", "span_id"?}``): minted — or
+    #: received via ``traceparent`` — when the request was admitted,
+    #: journaled with it, and adopted by the job's campaign telemetry
+    #: session so the whole execution joins the request's trace.
+    trace: Optional[dict] = None
 
     @property
     def terminal(self) -> bool:
@@ -100,7 +105,11 @@ class JobStore:
         self.jobs: Dict[int, Job] = {}
         states = self.journal.completed("state")
         for job_id, payload in sorted(self.journal.completed("request").items()):
-            job = Job(job_id, CampaignSpec.from_journal(payload))
+            # The trace ref rides the request record but is not part of
+            # the spec; strip it before the strict spec reconstruction.
+            payload = dict(payload)
+            trace = payload.pop("trace", None)
+            job = Job(job_id, CampaignSpec.from_journal(payload), trace=trace)
             state = states.get(job_id)
             if state is not None:
                 detail = dict(state)
@@ -113,11 +122,14 @@ class JobStore:
     def job_dir(self, job: Job) -> Path:
         return self.jobs_dir / f"{job.job_id:06d}"
 
-    def admit(self, spec: CampaignSpec) -> Job:
+    def admit(self, spec: CampaignSpec, trace: Optional[dict] = None) -> Job:
         """Persist an accepted request; durable before the 202 goes out."""
-        job = Job(self._next_id, spec)
+        job = Job(self._next_id, spec, trace=trace)
         self._next_id += 1
-        self.journal.record("request", job.job_id, spec.to_payload())
+        payload = spec.to_payload()
+        if trace is not None:
+            payload = {**payload, "trace": trace}
+        self.journal.record("request", job.job_id, payload)
         self.journal.record("state", job.job_id, {"state": "queued"})
         self.jobs[job.job_id] = job
         return job

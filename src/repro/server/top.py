@@ -1,0 +1,126 @@
+"""``repro top``: a live terminal view of a running campaign server.
+
+Polls ``GET /status`` and ``GET /metrics`` (the JSON snapshot) over
+plain ``urllib`` and renders a compact, ``top``-style screen: server
+state and uptime, job lifecycle counts, per-tenant queue depths, the
+running jobs' progress/rate/ETA heartbeats, and the hottest counters.
+Pure-render core (:func:`render_top`) is separated from the fetch/poll
+loop so tests drive it from fixture dicts without a socket.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Optional, TextIO
+from urllib.error import URLError
+from urllib.request import urlopen
+
+#: Counters surfaced in the hot-metrics panel when present (ordered).
+_HOT_COUNTERS = (
+    "server.jobs_done",
+    "server.jobs_failed",
+    "server.jobs_interrupted",
+    "server.accepted",
+    "journal.records",
+    "prompt_cache.hits",
+    "prompt_cache.misses",
+)
+
+
+def fetch_json(url: str, timeout: float = 5.0) -> dict:
+    """GET ``url`` and decode the JSON body (raises ``URLError`` on refusal)."""
+    with urlopen(url, timeout=timeout) as response:  # noqa: S310 — http status URL
+        return json.loads(response.read().decode("utf-8"))
+
+
+def render_top(status: dict, metrics: dict, url: str = "") -> str:
+    """The full screen as one string (no cursor control — caller clears)."""
+    lines = []
+    jobs = status.get("jobs", {})
+    state = status.get("state", "?")
+    uptime = status.get("uptime_s", 0.0)
+    lines.append(f"repro top — {url or 'campaign server'}")
+    lines.append(
+        f"state: {state}   uptime: {uptime:.0f}s   "
+        + "  ".join(f"{name}: {jobs.get(name, 0)}" for name in
+                    ("queued", "running", "done", "failed", "interrupted"))
+    )
+    budget = status.get("budget")
+    if budget:
+        lines.append(f"budget: {budget.get('wall_remaining_s')}s wall remaining")
+
+    tenants = status.get("tenants", {})
+    if tenants:
+        lines.append("")
+        lines.append("tenant queues:")
+        for tenant, info in sorted(tenants.items()):
+            lines.append(f"  {tenant:<16} queued {info.get('queued', 0)}")
+
+    running = status.get("running", [])
+    lines.append("")
+    if running:
+        lines.append(f"{'job':>6}  {'tenant':<12} {'progress':<17} {'rate':>8}  eta")
+        for entry in running:
+            done, total = entry.get("done", 0), entry.get("total", 0)
+            pct = f"({100.0 * done / total:.0f}%)" if total else ""
+            rate = entry.get("rate")
+            lines.append(
+                f"{entry.get('id', '?'):>6}  {str(entry.get('tenant', '-')):<12} "
+                f"{f'{done}/{total} {pct}':<17} "
+                f"{f'{rate}/s' if rate is not None else '-':>8}  {entry.get('eta', '-')}"
+            )
+    else:
+        lines.append("no running jobs")
+
+    counters = metrics.get("counters", {})
+    hot = [(name, counters[name]) for name in _HOT_COUNTERS if name in counters]
+    if hot:
+        lines.append("")
+        lines.append("counters: " + "  ".join(f"{name}={value}" for name, value in hot))
+    histograms = metrics.get("histograms", {})
+    request_keys = sorted(k for k in histograms if k.startswith("server.request_ms"))
+    if request_keys:
+        lines.append("requests:")
+        for key in request_keys:
+            snap = histograms[key]
+            count = snap.get("count", 0)
+            total = snap.get("total", 0.0)
+            mean = total / count if count else 0.0
+            lines.append(f"  {key:<48} n={count:<7} mean={mean:.1f}ms")
+    return "\n".join(lines)
+
+
+def run_top(
+    url: str,
+    interval: float = 2.0,
+    once: bool = False,
+    stream: Optional[TextIO] = None,
+    clock=time.sleep,
+) -> int:
+    """Poll-and-render loop; returns an exit code (0 ok, 1 unreachable).
+
+    ``--once`` renders a single frame without clearing the screen (and
+    is what CI/tests use); the live loop clears between frames and
+    stops cleanly on Ctrl-C.
+    """
+    stream = stream if stream is not None else sys.stdout
+    base = url.rstrip("/")
+    while True:
+        try:
+            status = fetch_json(f"{base}/status")
+            metrics = fetch_json(f"{base}/metrics")
+        except (URLError, OSError, ValueError) as exc:
+            print(f"top: cannot reach {base}: {exc}", file=sys.stderr)
+            return 1
+        frame = render_top(status, metrics, url=base)
+        if once:
+            stream.write(frame + "\n")
+            return 0
+        stream.write("\x1b[2J\x1b[H" + frame + "\n")
+        stream.flush()
+        try:
+            clock(interval)
+        except KeyboardInterrupt:
+            return 0

@@ -38,6 +38,19 @@ from .aggregate import (
     stable_events,
     summarize_campaign,
 )
+from .context import (
+    SPAN_COUNTER_BITS,
+    TraceContext,
+    make_span_id,
+    new_trace_id,
+    split_span_id,
+)
+from .export import (
+    build_chrome_trace,
+    check_trace_tree,
+    export_chrome_trace,
+    load_spans,
+)
 from .heartbeat import Heartbeat, format_eta
 from .logger import (
     LEVELS,
@@ -53,17 +66,24 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    labeled_key,
     values_delta,
 )
+from .profiler import ProfilerError, SamplingProfiler
+from .prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from .prometheus import render_prometheus
 from .tracing import (
     Span,
     TelemetrySession,
     active,
     emit,
     end_session,
+    pin_trace,
+    rejoin_trace,
     session,
     start_session,
     trace,
+    trace_ref,
 )
 
 __all__ = [
@@ -74,6 +94,15 @@ __all__ = [
     "render_summary",
     "stable_events",
     "summarize_campaign",
+    "SPAN_COUNTER_BITS",
+    "TraceContext",
+    "make_span_id",
+    "new_trace_id",
+    "split_span_id",
+    "build_chrome_trace",
+    "check_trace_tree",
+    "export_chrome_trace",
+    "load_spans",
     "Heartbeat",
     "format_eta",
     "LEVELS",
@@ -87,13 +116,21 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "labeled_key",
     "values_delta",
+    "ProfilerError",
+    "SamplingProfiler",
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
     "Span",
     "TelemetrySession",
     "active",
     "emit",
     "end_session",
+    "pin_trace",
+    "rejoin_trace",
     "session",
     "start_session",
     "trace",
+    "trace_ref",
 ]

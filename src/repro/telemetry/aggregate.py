@@ -23,13 +23,34 @@ from pathlib import Path
 from typing import Iterable, Optional, Union
 
 from .logger import read_events
+from .metrics import Histogram
 
 #: Span names that represent one completed unit of generation work.
 EXECUTE_SPANS = ("dcgen.execute_batch", "free.chunk", "ordered.round")
 
 #: Record keys that vary run-to-run even for identical campaigns.
 _UNSTABLE_KEYS = ("ts", "pid", "worker")
-_UNSTABLE_FIELDS = ("duration_s",)
+#: Field keys that vary run-to-run: wall-clock durations, and trace
+#: identity (trace ids are random per run; span ids embed the pid).
+_UNSTABLE_FIELDS = ("duration_s", "trace_id", "remote_parent", "span_id", "parent_id")
+#: Whole events that are wall-clock-shaped by nature: heartbeats are
+#: interval-throttled (their *count* varies run-to-run) and profiles
+#: carry sample counts.  Both are dropped from the deterministic view.
+_UNSTABLE_EVENTS = ("heartbeat", "profile")
+
+#: Span-duration histograms bucket microseconds: 2**36 µs ≈ 19 h covers
+#: any campaign phase while keeping log2 bucket resolution fine at the
+#: millisecond scale where decode batches live.
+_DURATION_MAX_EXPONENT = 36
+
+
+def _duration_percentiles(histogram: Histogram) -> dict:
+    """Bucket-interpolated p50/p95/p99 of a µs histogram, in ms."""
+    out = {}
+    for label, q in (("p50_ms", 0.50), ("p95_ms", 0.95), ("p99_ms", 0.99)):
+        value = histogram.quantile(q)
+        out[label] = round(value / 1000.0, 3) if value is not None else None
+    return out
 
 
 def campaign_files(directory: Union[str, Path]) -> list[Path]:
@@ -60,6 +81,8 @@ def stable_events(records: Iterable[dict]) -> list[dict]:
     """
     out = []
     for record in records:
+        if record.get("event") in _UNSTABLE_EVENTS:
+            continue
         rec = {k: v for k, v in record.items() if k not in _UNSTABLE_KEYS}
         fields = dict(rec.get("fields", {}))
         for key in _UNSTABLE_FIELDS:
@@ -94,6 +117,7 @@ def summarize_campaign(directory: Union[str, Path]) -> dict:
     failed_tasks: dict[tuple, int] = {}
     recovered_tasks: set = set()
     spans: dict[str, dict] = {}
+    span_durations: dict[str, Histogram] = {}
     run_id = None
     wall_s = 0.0
     journal_records = 0
@@ -137,6 +161,12 @@ def summarize_campaign(directory: Union[str, Path]) -> dict:
             agg["count"] += 1
             agg["total_s"] += duration
             agg["max_s"] = max(agg["max_s"], duration)
+            histogram = span_durations.get(name)
+            if histogram is None:
+                histogram = span_durations[name] = Histogram(
+                    name, max_exponent=_DURATION_MAX_EXPONENT
+                )
+            histogram.observe(duration * 1e6)  # µs buckets
             if name == "campaign":
                 wall_s += duration
             if name in EXECUTE_SPANS:
@@ -158,9 +188,10 @@ def summarize_campaign(directory: Union[str, Path]) -> dict:
     unaccounted = sorted(
         str(key[1]) for key in failed_tasks if key not in recovered_tasks
     )
-    for agg in spans.values():
+    for name, agg in spans.items():
         agg["total_s"] = round(agg["total_s"], 6)
         agg["max_s"] = round(agg["max_s"], 6)
+        agg.update(_duration_percentiles(span_durations[name]))
     for per in workers.values():
         per["busy_s"] = round(per["busy_s"], 6)
 
@@ -313,8 +344,18 @@ def render_summary(summary: dict, top_spans: int = 10) -> str:
         lines.append("")
         lines.append(f"Top spans by total time")
         rows = [
-            [name, agg["count"], agg["total_s"], agg["max_s"]]
+            [
+                name,
+                agg["count"],
+                agg["total_s"],
+                agg["max_s"],
+                agg.get("p50_ms", "-"),
+                agg.get("p95_ms", "-"),
+                agg.get("p99_ms", "-"),
+            ]
             for name, agg in list(summary["spans"].items())[:top_spans]
         ]
-        lines.append(_table(["span", "count", "total_s", "max_s"], rows))
+        lines.append(
+            _table(["span", "count", "total_s", "max_s", "p50_ms", "p95_ms", "p99_ms"], rows)
+        )
     return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Distributed trace identity: trace ids, span ids, W3C ``traceparent``.
+
+A campaign that spans an HTTP request, a server fleet slot, a forked
+worker pool, and a crash-resumed re-run needs one stable identity for
+the whole tree.  :class:`TraceContext` is that identity:
+
+* ``trace_id`` — 128 random bits, rendered as 32 lowercase hex chars
+  (the W3C trace-context format), minted once at the edge (the server
+  request handler or the CLI session) and carried everywhere else;
+* ``parent_span_id`` — the span a *remote* child should attach under:
+  the server's request span for a job session, the parent process's
+  campaign span for a pool worker.
+
+Span ids themselves must be unique **across processes** so that merged
+parent + worker streams form an unambiguous tree.  They are derived
+deterministically from ``(pid, counter)`` via :func:`make_span_id`:
+the pid occupies the high bits, a per-session counter the low 40 bits.
+Two processes can never collide (different pids), and one process never
+reuses a counter value within a session.  Unlike random 64-bit ids this
+keeps same-process reruns byte-comparable: two identical seeded
+campaigns in one process emit identical span ids, which the determinism
+suite relies on.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+#: Low bits reserved for the per-session span counter; pids (<= 2^22 on
+#: Linux) shifted above it stay comfortably inside 63 bits.
+SPAN_COUNTER_BITS = 40
+_SPAN_COUNTER_MASK = (1 << SPAN_COUNTER_BITS) - 1
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})"
+    r"-(?P<parent_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex characters."""
+    return os.urandom(16).hex()
+
+
+def make_span_id(pid: int, counter: int) -> int:
+    """Collision-free span id from ``(pid, counter)``.
+
+    Distinct pids occupy disjoint id ranges; within a process the
+    session counter never repeats.  The result fits in 63 bits, so it
+    survives JSON round-trips exactly.
+    """
+    return (int(pid) << SPAN_COUNTER_BITS) | (int(counter) & _SPAN_COUNTER_MASK)
+
+
+def split_span_id(span_id: int) -> tuple:
+    """Invert :func:`make_span_id` → ``(pid, counter)``."""
+    return int(span_id) >> SPAN_COUNTER_BITS, int(span_id) & _SPAN_COUNTER_MASK
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity a session (or remote child) joins a trace under."""
+
+    trace_id: str
+    #: Span id of the remote parent this context's root spans attach
+    #: under, or ``None`` when this context starts a brand-new tree.
+    parent_span_id: Optional[int] = None
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """A brand-new trace with no remote parent."""
+        return cls(trace_id=new_trace_id(), parent_span_id=None)
+
+    # ------------------------------------------------------------------
+    # dict form — journal headers, JobStore records, worker initargs
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out = {"trace_id": self.trace_id}
+        if self.parent_span_id is not None:
+            out["span_id"] = int(self.parent_span_id)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Optional[dict]) -> Optional["TraceContext"]:
+        """Rebuild from :meth:`to_dict` output; ``None``/malformed → ``None``."""
+        if not isinstance(payload, dict):
+            return None
+        trace_id = payload.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            return None
+        span_id = payload.get("span_id")
+        parent = int(span_id) if isinstance(span_id, int) else None
+        return cls(trace_id=trace_id, parent_span_id=parent)
+
+    # ------------------------------------------------------------------
+    # W3C trace-context header form — server ingress/egress
+    # ------------------------------------------------------------------
+    def to_traceparent(self, span_id: Optional[int] = None) -> str:
+        """Render as a ``traceparent`` header value.
+
+        ``span_id`` names the span a downstream service should attach
+        under; it defaults to this context's own parent (or zero when
+        the trace has no spans yet).
+        """
+        parent = span_id if span_id is not None else (self.parent_span_id or 0)
+        return f"00-{self.trace_id}-{int(parent) & ((1 << 64) - 1):016x}-01"
+
+    @classmethod
+    def from_traceparent(cls, header: Optional[str]) -> Optional["TraceContext"]:
+        """Parse a ``traceparent`` header; invalid/absent → ``None``."""
+        if not header:
+            return None
+        match = _TRACEPARENT_RE.match(header.strip().lower())
+        if match is None:
+            return None
+        parent = int(match.group("parent_id"), 16)
+        return cls(trace_id=match.group("trace_id"), parent_span_id=parent or None)

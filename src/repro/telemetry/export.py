@@ -1,0 +1,238 @@
+"""Export merged telemetry streams as a Chrome trace-event file.
+
+``repro telemetry export DIR --format chrome-trace`` stitches the
+parent ``telemetry.jsonl`` and every ``telemetry-worker-*.jsonl`` into
+one JSON file loadable by ``chrome://tracing`` and Perfetto:
+
+* each ``span`` record becomes a complete (``"X"``) slice on its own
+  process track — slices nest by time containment, so the span tree is
+  directly visible per pid;
+* every **cross-process** parent→child edge (parent campaign span →
+  worker execute span, server request span → job campaign span) becomes
+  a flow arrow (``"s"``/``"f"`` events bound by the child span id), so
+  one request is followable across the asyncio loop, the fleet slot,
+  and the forked workers;
+* other events (``campaign_plan``, ``task_failed``, ``heartbeat`` ...)
+  become instant events on their emitting track;
+* ``"M"`` metadata events name each track (``parent``/``worker <pid>``).
+
+:func:`check_trace_tree` is the deterministic gate behind ``--check``:
+the merged spans must form a **single connected tree** — span ids
+unique across every stream (the reason ids are ``(pid, counter)``-
+derived), exactly one root, no cycles, every span reachable from the
+root.  A lost worker stream, a collided id, or a resume that failed to
+rejoin its original trace all surface here as typed failures.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..runtime.atomic import atomic_write_text
+from .aggregate import campaign_files
+from .logger import read_events
+
+
+def load_spans(directory: Union[str, Path]) -> List[dict]:
+    """Every span record across every stream, with stream context.
+
+    Each returned dict is the raw record ``fields`` plus ``pid``,
+    ``worker``, ``ts`` (record wall-clock at span *end*), and the
+    source ``stream`` filename.
+    """
+    spans: List[dict] = []
+    for path in campaign_files(directory):
+        for record in read_events(path):
+            if record.get("event") != "span":
+                continue
+            fields = record.get("fields", {})
+            if not isinstance(fields.get("span_id"), int):
+                continue  # torn/foreign record: not a usable span
+            spans.append(
+                {
+                    **fields,
+                    "pid": record.get("pid"),
+                    "worker": record.get("worker"),
+                    "ts": record.get("ts"),
+                    "stream": path.name,
+                }
+            )
+    return spans
+
+
+def check_trace_tree(spans: List[dict]) -> List[str]:
+    """Failures preventing the spans from forming one connected tree."""
+    failures: List[str] = []
+    if not spans:
+        return ["no spans found"]
+
+    parent_of: Dict[int, Optional[int]] = {}
+    for span in spans:
+        span_id = span["span_id"]
+        if span_id in parent_of:
+            failures.append(
+                f"duplicate span id {span_id} ({span.get('name')!r} in {span['stream']})"
+            )
+            continue
+        parent_of[span_id] = span.get("parent_id")
+
+    # A root is a span with no parent, or whose parent lives outside the
+    # exported directory (a server request span upstream of a job dir).
+    roots = [
+        span_id
+        for span_id, parent in parent_of.items()
+        if parent is None or parent not in parent_of
+    ]
+    if len(roots) != 1:
+        named = {s["span_id"]: s.get("name") for s in spans}
+        failures.append(
+            f"expected exactly 1 root span, found {len(roots)}: "
+            f"{sorted((named.get(r), r) for r in roots)[:5]}"
+        )
+
+    # Connectivity/cycle check: every span must reach a root without
+    # revisiting a node.  Memoised walk keeps it linear overall.
+    state: Dict[int, str] = {}  # span_id -> "ok" | "cycle"
+    for start in parent_of:
+        path: List[int] = []
+        node: Optional[int] = start
+        verdict = "ok"
+        while node is not None and node in parent_of and node not in state:
+            if node in path:
+                verdict = "cycle"
+                break
+            path.append(node)
+            node = parent_of[node]
+        if verdict == "ok" and node in state:
+            verdict = state[node]
+        for visited in path:
+            state[visited] = verdict
+        if verdict == "cycle":
+            failures.append(f"span {start} is caught in a parent cycle")
+            break  # one cycle report is enough; the set is poisoned
+    return failures
+
+
+def build_chrome_trace(directory: Union[str, Path]) -> dict:
+    """The merged streams as a Chrome trace-event JSON object."""
+    directory = Path(directory)
+    events: List[dict] = []
+    process_names: Dict[int, str] = {}
+
+    spans = load_spans(directory)
+    span_pid: Dict[int, int] = {s["span_id"]: s["pid"] for s in spans}
+    span_end: Dict[int, float] = {s["span_id"]: float(s["ts"] or 0.0) for s in spans}
+
+    for path in campaign_files(directory):
+        for record in read_events(path):
+            pid = record.get("pid")
+            worker = record.get("worker")
+            if isinstance(pid, int) and pid not in process_names:
+                process_names[pid] = "parent" if worker is None else f"worker {worker}"
+            event = record.get("event")
+            fields = record.get("fields", {})
+            ts_us = float(record.get("ts") or 0.0) * 1e6
+            if event == "span" and isinstance(fields.get("span_id"), int):
+                duration_us = float(fields.get("duration_s") or 0.0) * 1e6
+                start_us = ts_us - duration_us  # record is written at span end
+                events.append(
+                    {
+                        "name": fields.get("name", "?"),
+                        "cat": "span",
+                        "ph": "X",
+                        "ts": start_us,
+                        "dur": duration_us,
+                        "pid": pid,
+                        "tid": pid,
+                        "args": {
+                            "span_id": fields.get("span_id"),
+                            "parent_id": fields.get("parent_id"),
+                            "attrs": fields.get("attrs", {}),
+                            "delta": fields.get("delta", {}),
+                        },
+                    }
+                )
+                parent = fields.get("parent_id")
+                if parent in span_pid and span_pid[parent] != pid:
+                    # Cross-process edge: draw a flow arrow from the
+                    # parent's track to this span's start.
+                    flow_id = f"{fields['span_id']:x}"
+                    arrow_ts = min(start_us, span_end[parent] * 1e6)
+                    events.append(
+                        {
+                            "name": "spawn",
+                            "cat": "flow",
+                            "ph": "s",
+                            "id": flow_id,
+                            "ts": arrow_ts,
+                            "pid": span_pid[parent],
+                            "tid": span_pid[parent],
+                        }
+                    )
+                    events.append(
+                        {
+                            "name": "spawn",
+                            "cat": "flow",
+                            "ph": "f",
+                            "bp": "e",
+                            "id": flow_id,
+                            "ts": start_us,
+                            "pid": pid,
+                            "tid": pid,
+                        }
+                    )
+            else:
+                events.append(
+                    {
+                        "name": event or "?",
+                        "cat": "event",
+                        "ph": "i",
+                        "s": "p",
+                        "ts": ts_us,
+                        "pid": pid,
+                        "tid": pid,
+                        "args": fields,
+                    }
+                )
+
+    for pid, name in sorted(process_names.items()):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": name},
+            }
+        )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "directory": str(directory),
+            "streams": [p.name for p in campaign_files(directory)],
+            "spans": len(spans),
+            "pids": sorted(process_names),
+        },
+    }
+
+
+def export_chrome_trace(
+    directory: Union[str, Path],
+    out_path: Union[str, Path],
+    check: bool = False,
+) -> Tuple[Path, dict, List[str]]:
+    """Write the chrome-trace file; returns ``(path, trace, failures)``.
+
+    ``check=True`` additionally runs :func:`check_trace_tree`; failures
+    are returned, not raised, so the CLI owns the exit code.
+    """
+    trace = build_chrome_trace(directory)
+    failures = check_trace_tree(load_spans(directory)) if check else []
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(out_path, json.dumps(trace, separators=(",", ":")) + "\n")
+    return out_path, trace, failures

@@ -8,6 +8,13 @@ The clock is injectable so tests can drive it deterministically, and the
 line is only emitted when the target stream is a TTY (or when forced),
 so piped/CI output stays clean.  The heartbeat never touches rng or
 metrics — it is pure presentation over a ``(done, total)`` callback.
+
+Each (throttled) update additionally emits a structured ``heartbeat``
+telemetry event carrying ``done``/``total``/``rate``/``eta_s``, so
+headless runs (CI, the campaign server's job sessions) report live
+progress through the event stream even with the TTY line disabled.
+Heartbeat events are interval-throttled and therefore wall-clock-shaped;
+the aggregation layer excludes them from determinism diffs.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ from __future__ import annotations
 import sys
 import time
 from typing import Optional
+
+from . import tracing
 
 
 def format_eta(seconds: float) -> str:
@@ -74,17 +83,37 @@ class Heartbeat:
             f"{rate:.0f}/s ETA {eta}"
         )
 
+    def _emit_event(self, done: int, now: float) -> None:
+        elapsed = now - self._started
+        rate = done / elapsed if elapsed > 0 else 0.0
+        eta_s = (self.total - done) / rate if rate > 0 and self.total else None
+        tracing.emit(
+            "heartbeat",
+            level="debug",
+            label=self.label,
+            done=int(done),
+            total=self.total,
+            rate=round(rate, 1),
+            eta_s=round(eta_s, 1) if eta_s is not None else None,
+        )
+
     def update(self, done: int, total: Optional[int] = None) -> None:
-        """Report progress; redraws at most once per ``interval`` seconds."""
+        """Report progress; redraws at most once per ``interval`` seconds.
+
+        The structured ``heartbeat`` event obeys the same throttle but
+        is emitted regardless of TTY state, so headless runs still
+        surface live rate/ETA through the telemetry stream.
+        """
         if total is not None:
             self.total = int(total)
-        if not self.enabled:
-            return
         now = self._clock()
         finished = self.total and done >= self.total
         if not finished and self._last_emit is not None and now - self._last_emit < self.interval:
             return
         self._last_emit = now
+        self._emit_event(done, now)
+        if not self.enabled:
+            return
         self.rendered += 1
         self.stream.write("\r" + self.render(done).ljust(60))
         self.stream.flush()

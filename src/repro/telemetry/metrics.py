@@ -24,18 +24,35 @@ but its values appear in every snapshot and span delta as
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Union
+from typing import Callable, Dict, Optional, Union
 
 Number = Union[int, float]
+
+Labels = Optional[Dict[str, str]]
+
+
+def labeled_key(name: str, labels: Labels = None) -> str:
+    """Canonical registry key: ``name`` or ``name{k="v",...}`` (sorted).
+
+    Labels are folded into the key so the ``values()`` / ``values_delta``
+    machinery (and every snapshot consumer) sees one flat namespace;
+    the metric object keeps the base name and label dict separately so
+    the Prometheus renderer can emit them as real label pairs.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
 
 
 class Counter:
     """Monotonically increasing integer metric."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: Labels = None) -> None:
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self.value = 0
 
     def inc(self, n: int = 1) -> None:
@@ -45,10 +62,11 @@ class Counter:
 class Gauge:
     """Last-value-wins metric (e.g. queue depth, cache size)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: Labels = None) -> None:
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self.value: Number = 0
 
     def set(self, value: Number) -> None:
@@ -64,10 +82,11 @@ class Histogram:
     no adaptive resizing, no wall-clock.
     """
 
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "total")
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total")
 
-    def __init__(self, name: str, max_exponent: int = 24) -> None:
+    def __init__(self, name: str, max_exponent: int = 24, labels: Labels = None) -> None:
         self.name = name
+        self.labels = dict(labels) if labels else {}
         #: Inclusive upper bounds; observations above the last finite
         #: bound land in the overflow bucket.
         self.bounds = [2 ** i for i in range(max_exponent + 1)]
@@ -94,6 +113,35 @@ class Histogram:
         }
         return {"count": self.count, "total": self.total, "buckets": buckets}
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-interpolated quantile estimate (``0 <= q <= 1``).
+
+        Standard Prometheus-style ``histogram_quantile``: find the
+        bucket where the cumulative count crosses ``q * count`` and
+        interpolate linearly inside it.  Observations in the overflow
+        bucket clamp to the last finite bound (the estimate is then a
+        lower bound, exactly as Prometheus reports it).  Returns
+        ``None`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= target:
+                if i >= len(self.bounds):  # overflow bucket: clamp
+                    return float(self.bounds[-1])
+                lower = float(self.bounds[i - 1]) if i > 0 else 0.0
+                upper = float(self.bounds[i])
+                fraction = (target - cumulative) / bucket_count
+                return lower + max(0.0, min(1.0, fraction)) * (upper - lower)
+            cumulative += bucket_count
+        return float(self.bounds[-1])
+
 
 class MetricsRegistry:
     """Get-or-create registry of named metrics plus pluggable groups."""
@@ -108,25 +156,28 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Get-or-create accessors
     # ------------------------------------------------------------------
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, labels: Labels = None) -> Counter:
+        key = labeled_key(name, labels)
         with self._lock:
-            metric = self._counters.get(name)
+            metric = self._counters.get(key)
             if metric is None:
-                metric = self._counters[name] = Counter(name)
+                metric = self._counters[key] = Counter(name, labels)
             return metric
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, labels: Labels = None) -> Gauge:
+        key = labeled_key(name, labels)
         with self._lock:
-            metric = self._gauges.get(name)
+            metric = self._gauges.get(key)
             if metric is None:
-                metric = self._gauges[name] = Gauge(name)
+                metric = self._gauges[key] = Gauge(name, labels)
             return metric
 
-    def histogram(self, name: str, max_exponent: int = 24) -> Histogram:
+    def histogram(self, name: str, max_exponent: int = 24, labels: Labels = None) -> Histogram:
+        key = labeled_key(name, labels)
         with self._lock:
-            metric = self._histograms.get(name)
+            metric = self._histograms.get(key)
             if metric is None:
-                metric = self._histograms[name] = Histogram(name, max_exponent)
+                metric = self._histograms[key] = Histogram(name, max_exponent, labels)
             return metric
 
     def register_group(self, name: str, provider: Callable[[], Dict[str, Number]]) -> None:

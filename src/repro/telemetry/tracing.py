@@ -18,6 +18,17 @@ parent id, wall duration, merged attributes, and the non-zero registry
 counter deltas observed while it was open.  Spans nest via a per-session
 stack; with no active session :func:`trace` is a cheap no-op.
 
+Every session belongs to exactly one **trace** (see
+:mod:`~repro.telemetry.context`): span ids are minted from
+``(pid, counter)`` so merged parent + worker streams never collide, and
+a session started with a :class:`TraceContext` attaches its root spans
+under a *remote* parent span — the parent process's campaign span for a
+pool worker, the server's request span for a job session.  Journaled
+campaigns pin their trace in the run-journal header
+(:func:`pin_trace`) and re-adopt it on crash resume
+(:func:`rejoin_trace`), so an interrupted campaign's resumed spans stay
+in the original tree.
+
 Everything here is deliberately optional: production code calls
 :func:`emit` / :func:`trace` unconditionally, and pays nothing beyond an
 ``is None`` check until a session is started (by the CLI, the bench, or
@@ -33,6 +44,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+from .context import TraceContext, make_span_id, new_trace_id
 from .logger import TelemetryLogger
 from .metrics import get_registry, values_delta
 
@@ -79,6 +91,7 @@ class TelemetrySession:
         worker: Optional[int] = None,
         level: str = "debug",
         clock=time.time,
+        context: Optional[TraceContext] = None,
     ) -> None:
         self.dir = Path(directory)
         self.dir.mkdir(parents=True, exist_ok=True)
@@ -95,8 +108,84 @@ class TelemetrySession:
         self.pid = os.getpid()
         #: Registry mark: everything the session reports is relative to it.
         self._mark = self.registry.values()
-        self._span_stack: list[int] = []
+        #: Open spans, outermost first.  Holds the Span objects (not just
+        #: ids) so a crash-resume trace adoption can re-parent them.
+        self._span_stack: list = []
+        #: Per-session counter; combined with ``pid`` it yields span ids
+        #: unique across every process that ever writes into ``dir``.
         self._span_ids = itertools.count()
+        if context is not None:
+            self.trace_id = context.trace_id
+            self.remote_parent = context.parent_span_id
+        else:
+            self.trace_id = new_trace_id()
+            self.remote_parent = None
+        self._emit_trace_context()
+
+    # ------------------------------------------------------------------
+    # Trace identity
+    # ------------------------------------------------------------------
+    def _emit_trace_context(self) -> None:
+        self.logger.emit(
+            "trace_context",
+            level="debug",
+            trace_id=self.trace_id,
+            remote_parent=self.remote_parent,
+        )
+
+    def next_span_id(self) -> int:
+        """Mint a process-unique span id (``(pid, counter)``-derived)."""
+        return make_span_id(self.pid, next(self._span_ids))
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span, or ``None``."""
+        return self._span_stack[-1] if self._span_stack else None
+
+    def current_span_id(self) -> Optional[int]:
+        """Id new children attach under: innermost span or remote parent."""
+        if self._span_stack:
+            return self._span_stack[-1].span_id
+        return self.remote_parent
+
+    def trace_ref(self) -> dict:
+        """``{"trace_id", "span_id"?}`` naming the current attach point.
+
+        This is what gets pinned into run-journal headers and shipped to
+        worker initializers: a remote session built from it joins this
+        trace as a child of whatever span is open right now.
+        """
+        ref = {"trace_id": self.trace_id}
+        attach = self.current_span_id()
+        if attach is not None:
+            ref["span_id"] = attach
+        return ref
+
+    def adopt_trace(self, trace_id: str, root_span_id: Optional[int]) -> bool:
+        """Join an existing trace (crash-resumed campaign rejoining).
+
+        Replaces the session's trace id and re-parents currently-open
+        root spans (``parent_id is None``) under ``root_span_id``, so a
+        resumed campaign span becomes a child of the original run's
+        root instead of starting a second tree.  A span can never adopt
+        itself as parent.  Returns whether anything changed; when it
+        did, a fresh ``trace_context`` event records the new identity.
+        """
+        changed = False
+        if trace_id and trace_id != self.trace_id:
+            self.trace_id = trace_id
+            changed = True
+        if root_span_id is not None:
+            for span in self._span_stack:
+                if span.parent_id is None and span.span_id != root_span_id:
+                    span.parent_id = root_span_id
+                    changed = True
+                break  # only the outermost open span can be a root
+            if not self._span_stack and self.remote_parent != root_span_id:
+                self.remote_parent = root_span_id
+                changed = True
+        if changed:
+            self._emit_trace_context()
+        return changed
 
     # ------------------------------------------------------------------
     def metrics_delta(self) -> dict:
@@ -124,18 +213,23 @@ def start_session(
     worker: Optional[int] = None,
     level: str = "debug",
     clock=time.time,
+    context: Optional[TraceContext] = None,
 ) -> TelemetrySession:
     """Activate a session for this process (replacing any current one).
 
     A forked worker inherits the parent's session object; its
     initializer calls this to replace it with a per-worker stream —
-    the parent's descriptor stays untouched in the child.
+    the parent's descriptor stays untouched in the child.  ``context``
+    joins an existing trace (worker under a parent campaign span, job
+    session under a server request span) instead of minting a new one.
     """
     global _SESSION
     if _SESSION is not None and _SESSION.pid == os.getpid():
         # Replacing an open same-process session: close it cleanly first.
         _SESSION.close()
-    _SESSION = TelemetrySession(directory, run_id=run_id, worker=worker, level=level, clock=clock)
+    _SESSION = TelemetrySession(
+        directory, run_id=run_id, worker=worker, level=level, clock=clock, context=context
+    )
     return _SESSION
 
 
@@ -165,6 +259,45 @@ def session(directory: Union[str, Path], **kwargs) -> Iterator[TelemetrySession]
         end_session()
 
 
+def trace_ref() -> Optional[dict]:
+    """The active session's attach point, or ``None`` (see ``Session.trace_ref``)."""
+    sess = _SESSION
+    return sess.trace_ref() if sess is not None else None
+
+
+def pin_trace(header: dict) -> dict:
+    """Pin the active trace into a run-journal header (in place).
+
+    With no active session the header passes through untouched, so
+    journals written with and without telemetry stay attach-compatible
+    (:meth:`repro.runtime.journal.RunJournal.attach` excludes the trace
+    key from header identity).
+    """
+    ref = trace_ref()
+    if ref is not None:
+        header["trace"] = ref
+    return header
+
+
+def rejoin_trace(stored: Optional[dict]) -> bool:
+    """Adopt a journal header's pinned trace on crash resume.
+
+    ``stored`` is the ``"trace"`` value from an attached journal's
+    header (``None``/missing → no-op, as is an inactive session).  On a
+    fresh run the stored ref *is* the current ref, so adoption is a
+    no-op; on resume it re-roots the new session into the original
+    run's trace.  Returns whether the session changed identity.
+    """
+    sess = _SESSION
+    if sess is None or not isinstance(stored, dict):
+        return False
+    trace_id = stored.get("trace_id")
+    if not isinstance(trace_id, str) or not trace_id:
+        return False
+    root = stored.get("span_id")
+    return sess.adopt_trace(trace_id, root if isinstance(root, int) else None)
+
+
 def emit(event: str, level: str = "info", **fields) -> None:
     """Emit an event on the active session; silently dropped when none."""
     sess = _SESSION
@@ -179,9 +312,9 @@ def trace(name: str, level: str = "info", **attrs) -> Iterator[Span]:
     if sess is None:
         yield _NULL_SPAN
         return
-    span = Span(name, next(sess._span_ids), sess._span_stack[-1] if sess._span_stack else None, dict(attrs))
+    span = Span(name, sess.next_span_id(), sess.current_span_id(), dict(attrs))
     before = sess.registry.values()
-    sess._span_stack.append(span.span_id)
+    sess._span_stack.append(span)
     started = time.perf_counter()
     try:
         yield span

@@ -409,3 +409,76 @@ class TestTelemetrySummarize:
         (directory / "notes.txt").write_text("not a stream\n")
         assert main(["telemetry", "summarize", str(directory)]) == 2
         assert "no telemetry streams" in capsys.readouterr().err
+
+
+class TestTelemetryExportAndProfile:
+    """``telemetry export`` + ``--profile``: the CLI observability loop."""
+
+    @pytest.fixture(scope="class")
+    def traced_campaign(self, pipeline, tmp_path_factory):
+        """A 2-worker traced+profiled dcgen campaign via the real CLI."""
+        root = tmp_path_factory.mktemp("traced")
+        ckpt = root / "model.npz"
+        assert main([
+            "train", "--input", str(pipeline / "data.train.txt"),
+            "--out", str(ckpt),
+            "--dim", "32", "--layers", "1", "--heads", "2",
+            "--epochs", "1", "--batch-size", "128",
+        ]) == 0
+        tele = root / "tele"
+        profile = root / "profile.folded"
+        assert main([
+            "generate", "--checkpoint", str(ckpt), "-n", "300",
+            "--dcgen", "--threshold", "32", "--workers", "2",
+            "--telemetry", str(tele), "--profile", str(profile),
+            "--out", str(root / "guesses.txt"),
+        ]) == 0
+        return root, tele, profile
+
+    def test_profile_file_is_valid_folded_stacks(self, traced_campaign):
+        _, _, profile = traced_campaign
+        text = profile.read_text()
+        for line in text.splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert stack.startswith("span:")
+
+    def test_export_writes_connected_chrome_trace(self, traced_campaign, capsys):
+        root, tele, _ = traced_campaign
+        out = root / "trace.json"
+        assert main(["telemetry", "export", str(tele),
+                     "--out", str(out), "--check"]) == 0
+        err = capsys.readouterr().err
+        assert "single connected tree" in err
+        trace = json.loads(out.read_text())
+        assert trace["traceEvents"]
+        assert len(trace["otherData"]["pids"]) >= 2  # parent + workers
+
+    def test_export_default_out_is_inside_dir(self, traced_campaign):
+        _, tele, _ = traced_campaign
+        assert main(["telemetry", "export", str(tele)]) == 0
+        assert (tele / "trace.json").exists()
+
+    def test_summarize_check_still_passes_with_percentiles(
+        self, traced_campaign, capsys
+    ):
+        _, tele, _ = traced_campaign
+        assert main(["telemetry", "summarize", str(tele), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "p95" in out
+
+    def test_export_empty_directory_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "tele"
+        empty.mkdir()
+        assert main(["telemetry", "export", str(empty)]) == 2
+        assert "no telemetry streams" in capsys.readouterr().err
+
+    def test_export_check_fails_on_lost_stream(self, traced_campaign, tmp_path, capsys):
+        import shutil
+
+        _, tele, _ = traced_campaign
+        broken = tmp_path / "broken"
+        shutil.copytree(tele, broken)
+        (broken / "telemetry.jsonl").unlink()
+        assert main(["telemetry", "export", str(broken), "--check"]) == 1
+        assert "check failed" in capsys.readouterr().err

@@ -7,7 +7,9 @@ path ``repro serve`` and the server soak exercise.
 
 from __future__ import annotations
 
+import io
 import json
+import re
 import signal as _signal
 import time
 
@@ -481,3 +483,194 @@ class TestServerSoak:
                 assert outcome.check_ok is True
         # the report is JSON-serializable for soak-report.json
         json.dumps(report.to_dict())
+
+
+# ----------------------------------------------------------------------
+# Observability surface: Prometheus exposition, traces, repro top
+# ----------------------------------------------------------------------
+
+def _http_with_headers(port, method, path, payload=None, headers=None):
+    """Like chaos._http_request but with caller-controlled headers."""
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30.0)
+    try:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        all_headers = {"Content-Type": "application/json"} if body else {}
+        all_headers.update(headers or {})
+        conn.request(method, path, body=body, headers=all_headers)
+        response = conn.getresponse()
+        return response.status, response.read(), dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+# Label values are quoted and may contain any escaped character --
+# including "}" (e.g. route="/campaigns/{id}") -- so the label block
+# must be parsed as quoted pairs, not as a brace-delimited blob.
+_PROM_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{" + _PROM_LABEL + r"(," + _PROM_LABEL + r")*,?\})?"
+    r" (?:[0-9.eE+-]+|NaN|[+-]Inf)$"
+)
+_PROM_TYPE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$"
+)
+
+
+class TestObservability:
+    @pytest.fixture
+    def server(self, checkpoint, tmp_path):
+        runner = chaos._ServerThread(_config(checkpoint, tmp_path / "state"))
+        port = runner.start()
+        yield runner, port, tmp_path / "state"
+        if runner.thread.is_alive():
+            runner.drain(timeout=120.0)
+
+    def _scrape(self, port):
+        status, data, headers = _http_with_headers(
+            port, "GET", "/metrics?format=prometheus"
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        return data.decode("utf-8")
+
+    def test_prometheus_exposition_parses_line_by_line(self, server):
+        _, port, _ = server
+        # Generate some traffic so request histograms exist.
+        chaos._http_json(port, "GET", "/status")
+        chaos._http_json(port, "GET", "/healthz")
+        text = self._scrape(port)
+        assert text.endswith("\n")
+        seen_types = {}
+        for line in text.splitlines():
+            if not line:
+                continue
+            if line.startswith("# TYPE"):
+                assert _PROM_TYPE.match(line), line
+                name = line.split(" ")[2]
+                assert name not in seen_types, f"duplicate TYPE for {name}"
+                seen_types[name] = line.split(" ")[3]
+            elif line.startswith("#"):
+                continue  # HELP or comment
+            else:
+                assert _PROM_SAMPLE.match(line), line
+                base = line.split("{")[0].split(" ")[0]
+                # Samples appear contiguously under their family's TYPE:
+                # the base (after stripping histogram/counter suffixes)
+                # must already have been declared.
+                assert any(
+                    base == t or base.startswith(t + "_") for t in seen_types
+                ), line
+        assert seen_types, "no metric families rendered"
+
+    def test_prometheus_histogram_buckets_cumulative_to_inf(self, server):
+        _, port, _ = server
+        for _ in range(3):
+            chaos._http_json(port, "GET", "/status")
+        text = self._scrape(port)
+        lines = text.splitlines()
+        bucket_lines = [
+            l for l in lines
+            if l.startswith("repro_server_request_ms_bucket")
+            and 'route="/status"' in l
+        ]
+        assert bucket_lines, text
+        les, counts = [], []
+        for line in bucket_lines:
+            label_part = line[line.index("{") + 1:line.index("}")]
+            labels = dict(p.split("=", 1) for p in label_part.split(","))
+            les.append(labels['le'].strip('"'))
+            counts.append(float(line.rsplit(" ", 1)[1]))
+        assert les[-1] == "+Inf"
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        count_line = next(
+            l for l in lines
+            if l.startswith("repro_server_request_ms_count")
+            and 'route="/status"' in l
+        )
+        assert float(count_line.rsplit(" ", 1)[1]) == counts[-1]
+        assert any(
+            l.startswith("repro_server_request_ms_sum") and 'route="/status"' in l
+            for l in lines
+        )
+
+    def test_metrics_json_shape_unchanged(self, server):
+        """The JSON endpoint keeps its pre-Prometheus shape (back compat)."""
+        _, port, _ = server
+        status, metrics, _ = chaos._http_json(port, "GET", "/metrics")
+        assert status == 200
+        assert {"counters", "gauges", "histograms", "groups"} <= set(metrics)
+        assert isinstance(metrics["counters"], dict)
+
+    def test_traceparent_header_joins_the_callers_trace(self, server):
+        _, port, state_dir = server
+        trace_id = "0af7651916cd43dd8448eb211c80319c"
+        parent = "00f067aa0ba902b7"
+        status, data, _ = _http_with_headers(
+            port, "POST", "/campaigns", {"n": 5, "seed": 3},
+            headers={"traceparent": f"00-{trace_id}-{parent}-01"},
+        )
+        assert status == 202
+        job_id = json.loads(data)["id"]
+        _wait_terminal(port, job_id)
+        # The trace ref was journaled with the request record.
+        records = [
+            json.loads(line)
+            for line in (state_dir / "requests.journal.jsonl").read_text().splitlines()
+        ]
+        request = next(
+            r for r in records
+            if r.get("kind") == "request" and r.get("task_id") == job_id
+        )
+        assert request["payload"]["trace"]["trace_id"] == trace_id
+        assert request["payload"]["trace"]["span_id"] == int(parent, 16)
+
+    def test_submission_without_traceparent_mints_a_trace(self, server):
+        _, port, state_dir = server
+        status, obj, _ = chaos._http_json(port, "POST", "/campaigns", {"n": 5})
+        assert status == 202
+        records = [
+            json.loads(line)
+            for line in (state_dir / "requests.journal.jsonl").read_text().splitlines()
+        ]
+        request = next(
+            r for r in records
+            if r.get("kind") == "request" and r.get("task_id") == obj["id"]
+        )
+        trace = request["payload"]["trace"]
+        assert len(trace["trace_id"]) == 32
+
+    def test_labeled_outcome_counters_surface_in_both_formats(self, server):
+        _, port, _ = server
+        status, obj, _ = chaos._http_json(port, "POST", "/campaigns", {"n": 5, "seed": 1})
+        assert status == 202
+        _wait_terminal(port, obj["id"])
+        status, metrics, _ = chaos._http_json(port, "GET", "/metrics")
+        labeled = [
+            k for k in metrics["counters"]
+            if k.startswith("server.jobs_finished{") and 'state="done"' in k
+        ]
+        assert labeled
+        text = self._scrape(port)
+        assert any(
+            l.startswith("repro_server_jobs_finished_total{") and 'state="done"' in l
+            for l in text.splitlines()
+        )
+
+    def test_repro_top_once_renders_a_frame(self, server):
+        from repro.server.top import run_top
+
+        _, port, _ = server
+        out = io.StringIO()
+        code = run_top(f"http://127.0.0.1:{port}", once=True, stream=out)
+        assert code == 0
+        frame = out.getvalue()
+        assert "repro top" in frame
+        assert "state: serving" in frame
+
+    def test_repro_top_unreachable_exits_1(self):
+        from repro.server.top import run_top
+
+        assert run_top("http://127.0.0.1:1", once=True, stream=io.StringIO()) == 1

@@ -412,3 +412,218 @@ class TestAggregate:
         assert "Planned vs actual" in text
         assert "worker skew" in text
         assert "20" in text
+
+
+# ----------------------------------------------------------------------
+# Histogram quantiles and metric labels
+# ----------------------------------------------------------------------
+
+class TestQuantiles:
+    def test_empty_histogram_is_none(self):
+        assert MetricsRegistry().histogram("h").quantile(0.5) is None
+
+    def test_out_of_range_rejected(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(1)
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                h.quantile(bad)
+
+    def test_single_bucket_interpolates_within_bounds(self):
+        h = MetricsRegistry().histogram("h")
+        for _ in range(10):
+            h.observe(3)  # lands in the (2, 4] bucket
+        assert 2.0 <= h.quantile(0.5) <= 4.0
+        assert 2.0 <= h.quantile(0.99) <= 4.0
+
+    def test_quantiles_are_monotone(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (1, 2, 3, 10, 100, 1000, 5000):
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_spread_lands_in_the_right_decade(self):
+        h = MetricsRegistry().histogram("h")
+        for v in range(1, 101):  # uniform 1..100
+            h.observe(v)
+        assert h.quantile(0.5) <= 128      # p50 within the <=64/128 region
+        assert h.quantile(0.95) >= 64      # p95 near the top
+        assert h.quantile(0.95) <= 128
+
+    def test_overflow_bucket_clamps_to_top_bound(self):
+        h = MetricsRegistry().histogram("h", max_exponent=4)
+        h.observe(10**9)  # beyond every bound -> overflow bucket
+        assert h.quantile(0.5) == float(h.bounds[-1])
+
+
+class TestLabeledMetrics:
+    def test_labeled_key_is_sorted_and_stable(self):
+        from repro.telemetry.metrics import labeled_key
+
+        assert labeled_key("m", {"b": "2", "a": "1"}) == 'm{a="1",b="2"}'
+        assert labeled_key("m", None) == "m"
+        assert labeled_key("m", {}) == "m"
+
+    def test_label_variants_are_distinct_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs", labels={"state": "done"}).inc(3)
+        reg.counter("jobs", labels={"state": "failed"}).inc()
+        values = reg.values()
+        assert values['jobs{state="done"}'] == 3
+        assert values['jobs{state="failed"}'] == 1
+
+    def test_same_labels_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.histogram("h", labels={"route": "/status"})
+        b = reg.histogram("h", labels={"route": "/status"})
+        assert a is b
+        assert a is not reg.histogram("h", labels={"route": "/metrics"})
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (unit level; endpoint tests in test_server)
+# ----------------------------------------------------------------------
+
+class TestPrometheusRender:
+    def test_counter_total_and_type(self):
+        reg = MetricsRegistry()
+        reg.counter("journal.records").inc(7)
+        text = telemetry.render_prometheus(reg)
+        assert "# TYPE repro_journal_records_total counter\n" in text
+        assert "repro_journal_records_total 7\n" in text
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        reg.gauge("fleet.busy").set(2)
+        text = telemetry.render_prometheus(reg)
+        assert "# TYPE repro_fleet_busy gauge\n" in text
+        assert "repro_fleet_busy 2\n" in text
+
+    def test_label_variants_contiguous_under_one_type(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs", labels={"state": "done"}).inc()
+        reg.counter("other").inc()
+        reg.counter("jobs", labels={"state": "failed"}).inc()
+        lines = telemetry.render_prometheus(reg).splitlines()
+        type_idx = lines.index("# TYPE repro_jobs_total counter")
+        assert lines[type_idx + 1].startswith('repro_jobs_total{state="done"}')
+        assert lines[type_idx + 2].startswith('repro_jobs_total{state="failed"}')
+
+    def test_histogram_grammar(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", labels={"route": "/x"})
+        for v in (1, 3, 500):
+            h.observe(v)
+        text = telemetry.render_prometheus(reg)
+        assert "# TYPE repro_lat histogram\n" in text
+        assert 'repro_lat_bucket{route="/x",le="+Inf"} 3\n' in text
+        assert 'repro_lat_count{route="/x"} 3\n' in text
+        assert 'repro_lat_sum{route="/x"} 504' in text
+        # le buckets are cumulative.
+        bucket_counts = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_lat_bucket")
+        ]
+        assert bucket_counts == sorted(bucket_counts)
+
+    def test_group_values_are_untyped(self):
+        reg = MetricsRegistry()
+        reg.register_group("inference", lambda: {"calls": 4})
+        text = telemetry.render_prometheus(reg)
+        assert "# TYPE repro_inference_calls untyped\n" in text
+        assert "repro_inference_calls 4\n" in text
+
+    def test_name_sanitization_and_label_escaping(self):
+        from repro.telemetry.prometheus import escape_label_value, sanitize_name
+
+        assert sanitize_name("server.request_ms") == "repro_server_request_ms"
+        assert sanitize_name("weird-name!") == "repro_weird_name_"
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+# ----------------------------------------------------------------------
+# Heartbeat structured events
+# ----------------------------------------------------------------------
+
+class TestHeartbeatEvents:
+    def _events(self, tmp_path):
+        return [
+            e for e in telemetry.read_events(tmp_path / "telemetry.jsonl")
+            if e["event"] == "heartbeat"
+        ]
+
+    def test_headless_update_emits_event(self, tmp_path):
+        clock = FakeClock()
+        with telemetry.session(tmp_path, run_id="hb"):
+            hb = telemetry.Heartbeat(100, clock=clock, enabled=False)
+            clock.t = 2.0
+            hb.update(50)
+        [event] = self._events(tmp_path)
+        fields = event["fields"]
+        assert fields["done"] == 50 and fields["total"] == 100
+        assert fields["rate"] == pytest.approx(25.0)
+        assert fields["eta_s"] == pytest.approx(2.0)
+        assert event["level"] == "debug"
+
+    def test_events_obey_the_throttle(self, tmp_path):
+        clock = FakeClock()
+        with telemetry.session(tmp_path, run_id="hb"):
+            hb = telemetry.Heartbeat(
+                100, clock=clock, enabled=False, interval=0.5
+            )
+            for i in range(50):
+                clock.t = i * 0.01
+                hb.update(i)
+        assert len(self._events(tmp_path)) == 1
+
+    def test_heartbeat_events_dropped_from_stable_view(self, tmp_path):
+        clock = FakeClock()
+        with telemetry.session(tmp_path, run_id="hb"):
+            telemetry.Heartbeat(10, clock=clock, enabled=False).update(5)
+        events = telemetry.read_events(tmp_path / "telemetry.jsonl")
+        assert any(e["event"] == "heartbeat" for e in events)
+        assert not any(
+            e["event"] == "heartbeat" for e in telemetry.stable_events(events)
+        )
+
+
+class TestStableTraceFields:
+    def test_trace_identity_fields_stripped(self):
+        records = [
+            _rec("span", {"name": "s", "span_id": 12345, "parent_id": 99,
+                          "trace_id": "ab" * 16, "duration_s": 0.5,
+                          "attrs": {"a": 1}}),
+            _rec("trace_context", {"trace_id": "ab" * 16, "remote_parent": 7}),
+        ]
+        stable = telemetry.stable_events(records)
+        for record in stable:
+            for key in ("span_id", "parent_id", "trace_id", "remote_parent"):
+                assert key not in record["fields"]
+
+
+# ----------------------------------------------------------------------
+# Span duration percentiles in the merged summary
+# ----------------------------------------------------------------------
+
+class TestSpanPercentiles:
+    def test_summary_carries_percentiles(self, tmp_path):
+        _write_stream(tmp_path / "telemetry.jsonl", [
+            _rec("campaign_plan", {"kind": "dcgen", "requested": 1, "rows": 1,
+                                   "n_tasks": 1, "model_calls": 1,
+                                   "prompt_cache_hits": 0}),
+            _span("dcgen.execute_batch", attrs={"guesses": 1, "model_calls": 1},
+                  duration=0.010),
+            _span("dcgen.execute_batch", attrs={"guesses": 0, "model_calls": 0},
+                  duration=0.020),
+            _span("campaign", duration=0.5),
+        ])
+        summary = telemetry.summarize_campaign(tmp_path)
+        agg = summary["spans"]["dcgen.execute_batch"]
+        for key in ("p50_ms", "p95_ms", "p99_ms"):
+            assert key in agg
+            assert agg[key] > 0
+        assert agg["p50_ms"] <= agg["p95_ms"] <= agg["p99_ms"]
+        text = telemetry.render_summary(summary)
+        assert "p95" in text

@@ -1,0 +1,143 @@
+"""Distributed trace identity: ids, headers, and cross-process uniqueness.
+
+The span-id scheme is the foundation the whole export/`--check` story
+stands on: ids derived from ``(pid, counter)`` can never collide across
+a parent and its forked workers, unlike the previous per-process
+``itertools.count()`` which restarted at 0 in every worker.  The merge
+test at the bottom is the regression test for that bug: a real 2-worker
+campaign's merged streams must contain globally-unique span ids that
+all carry the parent's trace id.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.context import (
+    SPAN_COUNTER_BITS,
+    TraceContext,
+    make_span_id,
+    new_trace_id,
+    split_span_id,
+)
+
+from tests.test_telemetry_campaign import SEED, THRESHOLD, TOTAL, _generator
+
+
+# ----------------------------------------------------------------------
+# Span ids
+# ----------------------------------------------------------------------
+
+class TestSpanIds:
+    def test_roundtrip(self):
+        for pid, counter in ((1, 0), (4194304, 7), (31337, (1 << SPAN_COUNTER_BITS) - 1)):
+            assert split_span_id(make_span_id(pid, counter)) == (pid, counter)
+
+    def test_distinct_pids_never_collide(self):
+        ids = {make_span_id(pid, counter) for pid in (100, 101, 4194303)
+               for counter in range(50)}
+        assert len(ids) == 3 * 50
+
+    def test_fits_in_63_bits(self):
+        """JSON numbers survive exactly up to 2^53; ints to 2^63 in every
+        parser we rely on — the id must stay clear of the sign bit."""
+        assert make_span_id(4194304, (1 << SPAN_COUNTER_BITS) - 1) < (1 << 63)
+
+    def test_deterministic_within_process(self):
+        assert make_span_id(42, 3) == make_span_id(42, 3)
+
+
+# ----------------------------------------------------------------------
+# TraceContext
+# ----------------------------------------------------------------------
+
+class TestTraceContext:
+    def test_new_mints_32_hex_chars(self):
+        ctx = TraceContext.new()
+        assert len(ctx.trace_id) == 32
+        int(ctx.trace_id, 16)  # raises if not hex
+        assert ctx.parent_span_id is None
+
+    def test_trace_ids_unique(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+
+    def test_dict_roundtrip(self):
+        ctx = TraceContext(trace_id="ab" * 16, parent_span_id=make_span_id(7, 3))
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_dict_roundtrip_without_parent(self):
+        ctx = TraceContext(trace_id="cd" * 16)
+        assert "span_id" not in ctx.to_dict()
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    @pytest.mark.parametrize("payload", [None, {}, {"span_id": 3}, {"trace_id": ""},
+                                         {"trace_id": 7}, "not-a-dict", []])
+    def test_malformed_dict_is_none(self, payload):
+        assert TraceContext.from_dict(payload) is None
+
+    def test_traceparent_roundtrip(self):
+        ctx = TraceContext(trace_id="0af7651916cd43dd8448eb211c80319c",
+                           parent_span_id=make_span_id(9, 5))
+        parsed = TraceContext.from_traceparent(ctx.to_traceparent())
+        assert parsed == ctx
+
+    def test_traceparent_format(self):
+        ctx = TraceContext(trace_id="ab" * 16, parent_span_id=255)
+        header = ctx.to_traceparent()
+        version, trace_id, parent, flags = header.split("-")
+        assert (version, flags) == ("00", "01")
+        assert trace_id == ctx.trace_id
+        assert parent == f"{255:016x}"
+
+    def test_traceparent_explicit_span_overrides(self):
+        ctx = TraceContext(trace_id="ab" * 16, parent_span_id=1)
+        assert f"{77:016x}" in ctx.to_traceparent(span_id=77)
+
+    @pytest.mark.parametrize("header", [
+        None, "", "garbage", "00-short-0000000000000001-01",
+        "00-" + "g" * 32 + "-0000000000000001-01",
+        "0af7651916cd43dd8448eb211c80319c",  # bare trace id, no structure
+    ])
+    def test_invalid_traceparent_is_none(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_all_zero_parent_means_no_parent(self):
+        header = "00-" + "ab" * 16 + "-" + "0" * 16 + "-01"
+        parsed = TraceContext.from_traceparent(header)
+        assert parsed is not None
+        assert parsed.parent_span_id is None
+
+
+# ----------------------------------------------------------------------
+# The merge test: a real 2-worker campaign (the satellite regression)
+# ----------------------------------------------------------------------
+
+def test_two_worker_campaign_span_ids_globally_unique(tmp_path):
+    """Merged parent+worker streams: every span id unique, one trace id.
+
+    Before ids became pid-derived, every process counted spans from 0,
+    so any parent span collided with the first worker span of the same
+    index — and the merged tree was garbage.
+    """
+    gen = _generator(workers=2)
+    with telemetry.session(tmp_path, run_id="merge") as sess:
+        trace_id = sess.trace_id
+        gen.generate(TOTAL, seed=SEED)
+
+    spans = telemetry.load_spans(tmp_path)
+    streams = {s["stream"] for s in spans}
+    assert len(streams) >= 2, "expected parent + worker streams"
+
+    ids = [s["span_id"] for s in spans]
+    assert len(ids) == len(set(ids)), "span ids collided across processes"
+
+    # Every span id embeds the pid of the stream that emitted it.
+    for span in spans:
+        assert split_span_id(span["span_id"])[0] == span["pid"]
+
+    # Every stream declared the same trace id as the parent session.
+    for path in telemetry.campaign_files(tmp_path):
+        declared = [e["fields"]["trace_id"] for e in telemetry.read_events(path)
+                    if e["event"] == "trace_context"]
+        assert declared and set(declared) == {trace_id}, path.name

@@ -1,0 +1,128 @@
+"""Chrome-trace export and the single-connected-tree check.
+
+Two layers: :func:`check_trace_tree` over hand-built span lists (every
+failure mode pinned: duplicate ids, zero/multiple roots, cycles), and
+the full exporter over *real* campaign telemetry directories — a traced
+1-worker and 2-worker D&C-GEN run must export to one connected tree
+whose flow arrows bridge the parent and worker pids.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import telemetry
+from repro.telemetry.context import make_span_id
+from repro.telemetry.export import build_chrome_trace, check_trace_tree, load_spans
+
+from tests.test_telemetry_campaign import SEED, TOTAL, _generator
+
+
+def _span(span_id, parent_id=None, name="s", stream="telemetry.jsonl"):
+    return {"span_id": span_id, "parent_id": parent_id, "name": name,
+            "stream": stream, "pid": span_id >> 40, "ts": 1.0, "duration_s": 0.5}
+
+
+# ----------------------------------------------------------------------
+# check_trace_tree on synthetic shapes
+# ----------------------------------------------------------------------
+
+class TestCheckTraceTree:
+    def test_single_root_chain_passes(self):
+        a, b, c = (make_span_id(10, i) for i in range(3))
+        assert check_trace_tree([_span(a), _span(b, a), _span(c, b)]) == []
+
+    def test_cross_pid_tree_passes(self):
+        root = make_span_id(10, 0)
+        w1, w2 = make_span_id(11, 0), make_span_id(12, 0)
+        assert check_trace_tree([_span(root), _span(w1, root), _span(w2, root)]) == []
+
+    def test_external_parent_counts_as_root(self):
+        """A job directory whose root hangs under a server request span
+        (absent from the export) is still one connected tree."""
+        upstream = make_span_id(1, 7)  # never exported
+        a = make_span_id(10, 0)
+        assert check_trace_tree([_span(a, upstream), _span(make_span_id(10, 1), a)]) == []
+
+    def test_empty_fails(self):
+        assert check_trace_tree([]) == ["no spans found"]
+
+    def test_duplicate_ids_fail(self):
+        dup = make_span_id(10, 0)
+        failures = check_trace_tree([_span(dup), _span(dup, stream="telemetry-worker-0.jsonl")])
+        assert any("duplicate span id" in f for f in failures)
+
+    def test_two_roots_fail(self):
+        failures = check_trace_tree([_span(make_span_id(10, 0)), _span(make_span_id(11, 0))])
+        assert any("expected exactly 1 root" in f for f in failures)
+
+    def test_cycle_fails(self):
+        a, b = make_span_id(10, 0), make_span_id(10, 1)
+        failures = check_trace_tree([_span(a, b), _span(b, a)])
+        assert any("cycle" in f for f in failures)
+
+
+# ----------------------------------------------------------------------
+# Real campaigns export to one connected tree
+# ----------------------------------------------------------------------
+
+def _run_campaign(directory, workers):
+    gen = _generator(workers=workers)
+    with telemetry.session(directory, run_id="export"):
+        gen.generate(TOTAL, seed=SEED)
+
+
+def test_serial_campaign_exports_connected_tree(tmp_path):
+    _run_campaign(tmp_path, workers=1)
+    assert check_trace_tree(load_spans(tmp_path)) == []
+
+
+def test_two_worker_campaign_exports_connected_tree(tmp_path):
+    _run_campaign(tmp_path, workers=2)
+    spans = load_spans(tmp_path)
+    assert check_trace_tree(spans) == []
+    assert len({s["pid"] for s in spans}) >= 2, "worker spans missing"
+
+
+def test_chrome_trace_shape_and_flows(tmp_path):
+    _run_campaign(tmp_path, workers=2)
+    trace = build_chrome_trace(tmp_path)
+    events = trace["traceEvents"]
+
+    slices = [e for e in events if e["ph"] == "X"]
+    assert slices and all(e["dur"] >= 0 and e["ts"] >= 0 for e in slices)
+    pids = {e["pid"] for e in slices}
+    assert len(pids) >= 2
+
+    # Cross-pid edges appear as bound s/f flow pairs.
+    starts = {e["id"] for e in events if e["ph"] == "s"}
+    finishes = {e["id"] for e in events if e["ph"] == "f"}
+    assert starts and starts == finishes
+
+    # Every track is named.
+    named = {e["pid"] for e in events if e["ph"] == "M"
+             and e["name"] == "process_name"}
+    assert pids <= named
+    names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+    assert "parent" in names
+    assert any(n.startswith("worker") for n in names)
+
+
+def test_export_writes_loadable_json(tmp_path):
+    _run_campaign(tmp_path / "tele", workers=1)
+    out = tmp_path / "trace.json"
+    path, trace, failures = telemetry.export_chrome_trace(
+        tmp_path / "tele", out, check=True
+    )
+    assert path == out and failures == []
+    loaded = json.loads(out.read_text())
+    assert loaded["traceEvents"]
+    assert loaded["otherData"]["spans"] == trace["otherData"]["spans"] > 0
+
+
+def test_export_check_catches_orphaned_worker_stream(tmp_path):
+    """A worker stream whose parent stream is lost must fail --check."""
+    _run_campaign(tmp_path, workers=2)
+    (tmp_path / "telemetry.jsonl").unlink()  # lose the parent stream
+    failures = check_trace_tree(load_spans(tmp_path))
+    assert failures, "a lost parent stream should break tree connectivity"
